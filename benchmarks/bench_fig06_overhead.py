@@ -1,0 +1,52 @@
+"""Fig. 6 — single-task overhead of the platform vs handwritten code.
+
+Paper: "the overhead due to the platform is maximally 600%.  However,
+the overheads can be reduced […] using MMAT, depending on the access
+pattern"; "the overhead due to the transcompilation through AspectC++
+is about several percent".
+
+This benchmark reruns the eight benchmark columns (two sizes of SGrid,
+USGrid CaseC, USGrid CaseR and Particle) under every configuration
+(Handwritten / Platform / Platform NOP / Platform MPI / Platform OMP,
+with and without MMAT) on one task and reports wall-clock relative to
+Handwritten = 100%.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench import default_overhead_workloads, fig6_overhead
+
+
+def test_fig6_overhead_all_configurations(benchmark, small_mode):
+    workloads = default_overhead_workloads(small=small_mode)
+    rows = run_once(
+        benchmark,
+        fig6_overhead,
+        workloads=workloads,
+        configurations=("serial", "nop", "mpi", "omp"),
+        include_mmat=True,
+    )
+    emit(rows, "Fig. 6 — relative execution time (Handwritten = 100%)")
+
+    # Shape assertions from the paper's discussion of Fig. 6.
+    by_key = {}
+    for row in rows:
+        by_key.setdefault(row["benchmark"], {})[(row["configuration"], row["mmat"])] = row
+
+    for benchmark_name, configs in by_key.items():
+        handwritten = configs[("Handwritten", "-")]
+        assert handwritten["relative_pct"] == 100.0
+        # The platform adds overhead on a single task.
+        platform = configs[("Platform", "w/o MMAT")]
+        assert platform["relative_pct"] > 100.0
+        # Transcompiling with no aspect module costs only a few percent extra.
+        nop = configs[("Platform NOP", "w/o MMAT")]
+        assert nop["elapsed_s"] < platform["elapsed_s"] * 1.35
+        # MMAT helps (or at least does not hurt) the indirect-access benchmarks.
+        if "USGrid" in benchmark_name:
+            assert (
+                configs[("Platform", "w MMAT")]["elapsed_s"]
+                <= configs[("Platform", "w/o MMAT")]["elapsed_s"] * 1.05
+            )

@@ -1,0 +1,49 @@
+"""Fig. 8 — weak scaling on the distributed-memory (MPI) layer.
+
+Paper: weak scaling is roughly flat for SGrid / USGrid CaseC / Particle
+and markedly worse for USGrid CaseR, whose scattered accesses cause
+"significant communication overhead".
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench import (
+    fig8_weak_scaling_mpi,
+    particle_workload,
+    sgrid_workload,
+    usgrid_workload,
+)
+
+
+def weak_series(small: bool):
+    region = 16
+    return {
+        "SGrid": sgrid_workload(region, paper_region=2048),
+        "USGrid CaseC (w MMAT)": usgrid_workload(region, case="C", block_cells=32,
+                                                 paper_region=2048),
+        "USGrid CaseR (w MMAT)": usgrid_workload(region, case="R", block_cells=32,
+                                                 paper_region=2048),
+        "Particle 2^16": particle_workload(128, paper_particles=2 ** 16).with_config(
+            block_buckets=4, page_elements=4
+        ),
+    }
+
+
+def test_fig8_weak_scaling_mpi(benchmark, small_mode):
+    counts = (1, 4, 16) if small_mode else (1, 4, 16, 64)
+    rows = run_once(benchmark, fig8_weak_scaling_mpi, counts=counts,
+                    series=weak_series(small_mode))
+    emit(rows, "Fig. 8 — weak scaling, MPI (1 process = 1.0)")
+
+    by_series = {}
+    for row in rows:
+        by_series.setdefault(row["series"], {})[row["tasks"]] = row["relative"]
+    largest = max(counts)
+    # CaseR degrades the most; SGrid stays close to flat.
+    assert by_series["USGrid CaseR (w MMAT)"][largest] > by_series["SGrid"][largest]
+    assert by_series["SGrid"][largest] < 1.5
+    for series, curve in by_series.items():
+        assert curve[1] == 1.0
+        assert all(value >= 0.99 for value in curve.values()), series

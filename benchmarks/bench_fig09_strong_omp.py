@@ -1,0 +1,34 @@
+"""Fig. 9 — strong scaling on the shared-memory (OpenMP) layer.
+
+Paper: "except USGrid CaseR with 16 threads, the benchmark scaled
+almost linearly"; the CaseR outlier is attributed to per-task cache
+capacity and memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench import default_scaling_workloads, fig9_strong_scaling_omp
+
+
+def test_fig9_strong_scaling_omp(benchmark, small_mode):
+    counts = (1, 2, 4, 8) if small_mode else (1, 2, 4, 8, 16)
+    rows = run_once(benchmark, fig9_strong_scaling_omp, counts=counts,
+                    series=default_scaling_workloads())
+    emit(rows, "Fig. 9 — strong scaling, OpenMP (relative time, 1 thread = 1.0)")
+
+    by_series = {}
+    for row in rows:
+        by_series.setdefault(row["series"], {})[row["tasks"]] = row
+    largest = max(counts)
+    for series, curve in by_series.items():
+        assert curve[largest]["relative"] < curve[1]["relative"]
+        # Near-linear: within 2.5x of ideal speed-up at the largest count.
+        assert curve[largest]["relative"] < 2.5 / largest, series
+    # The shared-memory contention term penalises CaseR relative to CaseC at
+    # the largest thread count (the paper's 16-thread outlier).
+    caser = by_series["USGrid CaseR 4096 (w MMAT)"][largest]
+    casec = by_series["USGrid CaseC 4096 (w MMAT)"][largest]
+    assert caser["contention_s"] >= 0
+    assert casec["relative"] <= caser["relative"] * 1.5

@@ -1,0 +1,40 @@
+"""Fig. 10 — weak scaling on the shared-memory (OpenMP) layer.
+
+Paper: "a gradual performance degradation is observed in every case.
+The performance degradation in CaseC is more significant than that in
+CaseR", attributed to cache thrashing between threads streaming
+contiguous data.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench import fig10_weak_scaling_omp, sgrid_workload, usgrid_workload
+
+
+def weak_series():
+    return {
+        "SGrid": sgrid_workload(16, paper_region=2048),
+        "USGrid CaseC (w MMAT)": usgrid_workload(16, case="C", block_cells=32,
+                                                 paper_region=2048),
+        "USGrid CaseR (w MMAT)": usgrid_workload(16, case="R", block_cells=32,
+                                                 paper_region=2048),
+    }
+
+
+def test_fig10_weak_scaling_omp(benchmark, small_mode):
+    counts = (1, 4) if small_mode else (1, 4, 16)
+    rows = run_once(benchmark, fig10_weak_scaling_omp, counts=counts, series=weak_series())
+    emit(rows, "Fig. 10 — weak scaling, OpenMP (1 thread = 1.0)")
+
+    by_series = {}
+    for row in rows:
+        by_series.setdefault(row["series"], {})[row["tasks"]] = row["relative"]
+    largest = max(counts)
+    for series, curve in by_series.items():
+        # Gradual degradation: worse than flat, but far from collapsing.
+        assert 1.0 <= curve[largest] < 3.0, series
+    # CaseC (contiguous accesses) degrades more than CaseR (random accesses),
+    # relative to their own single-thread baselines.
+    assert by_series["USGrid CaseC (w MMAT)"][largest] > by_series["USGrid CaseR (w MMAT)"][largest]

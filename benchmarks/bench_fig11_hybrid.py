@@ -1,0 +1,39 @@
+"""Fig. 11 — MPI × OpenMP combinations at a fixed total task count.
+
+Paper: with 16 tasks split as (1×16), (2×8), (4×4), (8×2), (16×1),
+"the performance of USGrid CaseR worsened in the case with 16 OpenMP
+threads, while there was no significant difference in the other cases".
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench import default_scaling_workloads, fig11_hybrid
+
+
+def test_fig11_hybrid_combinations(benchmark, small_mode):
+    if small_mode:
+        combos = ((1, 8), (2, 4), (4, 2), (8, 1))
+    else:
+        combos = ((1, 16), (2, 8), (4, 4), (8, 2), (16, 1))
+    rows = run_once(benchmark, fig11_hybrid, combinations=combos,
+                    series=default_scaling_workloads())
+    emit(rows, "Fig. 11 — MPI x OpenMP combinations (single task = 100%)")
+
+    by_series = {}
+    for row in rows:
+        by_series.setdefault(row["series"], {})[(row["processes"], row["threads"])] = row
+    total = combos[0][0] * combos[0][1]
+    for series, cells in by_series.items():
+        relatives = [cell["relative_pct"] for cell in cells.values()]
+        # Every split gives a large speed-up over the single-task baseline.
+        assert all(value < 100.0 for value in relatives), series
+        # And all splits land in the same ballpark (no order-of-magnitude gap).
+        assert max(relatives) < 6 * min(relatives), series
+    # The thread-heavy split hurts CaseR more than the process-heavy split
+    # hurts it (the paper's 1x16 observation), up to modelling tolerance.
+    caser = by_series["USGrid CaseR 4096 (w MMAT)"]
+    thread_heavy = caser[combos[0]]["relative_pct"]
+    process_heavy = caser[combos[-1]]["relative_pct"]
+    assert thread_heavy > process_heavy * 0.5

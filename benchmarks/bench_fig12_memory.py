@@ -1,0 +1,44 @@
+"""Fig. 12 — total memory usage, split into pool (used/unused) and working memory.
+
+Paper: "Even if excluding fixed-size memory pools, the memory usage of
+the cases with the platform is larger several to dozens of times.  It
+is due to data of the structure of Env and MMAT."
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench import fig12_memory_usage
+
+
+def test_fig12_memory_usage(benchmark, small_mode):
+    rows = run_once(
+        benchmark,
+        fig12_memory_usage,
+        region=16 if small_mode else 32,
+        particles=128 if small_mode else 512,
+        pool_bytes=8 * 1024 * 1024,
+        configurations=("serial", "nop", "omp", "mpi", "hybrid"),
+    )
+    emit(rows, "Fig. 12 — memory usage decomposition (MB)")
+
+    by_benchmark = {}
+    for row in rows:
+        bench_name, config = row["label"].split(" / ")
+        by_benchmark.setdefault(bench_name, {})[config] = row
+
+    for bench_name, configs in by_benchmark.items():
+        handwritten = configs["H"]
+        assert handwritten["unused_pool_MB"] == 0 and handwritten["used_pool_MB"] == 0
+        for config, row in configs.items():
+            if config == "H":
+                continue
+            # Platform configurations carry the fixed-size pool…
+            assert row["unused_pool_MB"] + row["used_pool_MB"] > 0
+            # …and even ignoring the *unused* remainder of that pool, the
+            # memory they actually occupy (block buffers in the used pool +
+            # Env structure/MMAT working memory) exceeds the handwritten
+            # program's working set.
+            occupied = row["used_pool_MB"] + row["working_MB"]
+            assert occupied > handwritten["working_MB"]

@@ -1,0 +1,26 @@
+"""Table II — lines of code of each part of each benchmark.
+
+Paper: "the amount of code, which end-users should write, is about the
+same as that of handwritten [code]" — the platform and DSL parts are
+large, but they are written once by platform/DSL developers and shared.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.bench import table2_loc
+
+
+def test_table2_lines_of_code(benchmark):
+    rows = run_once(benchmark, table2_loc)
+    emit(rows, "Table II — lines of code (no blanks/comments)")
+
+    assert {row["benchmark"] for row in rows} == {"SGrid", "USGrid", "Particle"}
+    for row in rows:
+        # The platform part dwarfs the DSL part, which dwarfs the app part.
+        assert row["platform_part"] > row["dsl_part"] > row["app_part"] > 0
+        # End-user (App Part) code is the same order of magnitude as the
+        # handwritten program.
+        assert row["app_part"] < 3 * row["handwritten"]
+        assert row["handwritten"] < 5 * row["app_part"]

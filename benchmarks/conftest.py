@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section.  The figure generators are deterministic but not
+cheap, so every benchmark runs its generator exactly once through
+``benchmark.pedantic`` (pytest-benchmark still records the timing) and
+prints the resulting table so that ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+from repro.bench import format_table  # noqa: E402
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(rows, title):
+    """Print a figure/table in the shared fixed-width format."""
+    print()
+    print(format_table(rows, title=title))
+    return rows
+
+
+@pytest.fixture(scope="session")
+def small_mode() -> bool:
+    """Set REPRO_BENCH_FULL=1 to run closer-to-paper sizes (slower)."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") != "1"

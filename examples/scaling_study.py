@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reproduce the paper's scaling study end to end (scaled-down).
+
+Runs the strong/weak scaling experiments (Figs. 7-10) and the hybrid
+combination sweep (Fig. 11) on small problem instances, converting the
+measured per-task work and traffic into modelled cluster time with the
+shared cost model, and prints the same normalised series the paper
+plots.
+
+Run with (takes a couple of minutes)::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    default_scaling_workloads,
+    fig7_strong_scaling_mpi,
+    fig8_weak_scaling_mpi,
+    fig9_strong_scaling_omp,
+    fig10_weak_scaling_omp,
+    fig11_hybrid,
+    format_table,
+    sgrid_workload,
+    usgrid_workload,
+)
+
+
+def main() -> None:
+    # Smaller series than the benchmark defaults so the example stays quick.
+    series = {
+        "SGrid": sgrid_workload(32, paper_region=4096),
+        "USGrid CaseC (w MMAT)": usgrid_workload(32, case="C", paper_region=4096),
+        "USGrid CaseR (w MMAT)": usgrid_workload(32, case="R", paper_region=4096),
+    }
+
+    print(format_table(
+        fig7_strong_scaling_mpi(counts=(1, 2, 4, 8), series=series),
+        title="\nFig. 7 — strong scaling, distributed-memory layer (relative to 1 task)",
+    ))
+    print(format_table(
+        fig9_strong_scaling_omp(counts=(1, 2, 4, 8), series=series),
+        title="\nFig. 9 — strong scaling, shared-memory layer (relative to 1 task)",
+    ))
+
+    weak_series = {
+        "SGrid": sgrid_workload(16, paper_region=2048),
+        "USGrid CaseR (w MMAT)": usgrid_workload(16, case="R", block_cells=32,
+                                                 paper_region=2048),
+    }
+    print(format_table(
+        fig8_weak_scaling_mpi(counts=(1, 4, 16), series=weak_series),
+        title="\nFig. 8 — weak scaling, distributed-memory layer (1 task = 1.0)",
+    ))
+    print(format_table(
+        fig10_weak_scaling_omp(counts=(1, 4, 16), series=weak_series),
+        title="\nFig. 10 — weak scaling, shared-memory layer (1 task = 1.0)",
+    ))
+
+    print(format_table(
+        fig11_hybrid(combinations=((1, 8), (2, 4), (4, 2), (8, 1)), series=series),
+        title="\nFig. 11 — MPI x OpenMP combinations at 8 tasks (1 task = 100%)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

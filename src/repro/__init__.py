@@ -1,0 +1,50 @@
+"""repro — Reproduction of the AOP-based DSL-constructing platform for HPC.
+
+Reproduces Ishimura & Yoshimoto, "Aspect-Oriented Programming based
+building block platform to construct Domain-Specific Language for HPC
+application" (IPPS 2022, arXiv:2203.13431) as a pure-Python library.
+
+Top-level layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.aop` — the weaving engine (JoinPoint Model);
+* :mod:`repro.memory` — Memory Library (pools, pages, Blocks, Env, MMAT);
+* :mod:`repro.runtime` — simulated MPI / OpenMP layers, machine & cost model;
+* :mod:`repro.annotation` — Annotation Library and the Platform driver;
+* :mod:`repro.aspects` — Aspect Module Library (MPI / OpenMP layer modules);
+* :mod:`repro.dsl` — sample DSL processing systems (SGrid / USGrid / Particle);
+* :mod:`repro.apps` — end-user applications and handwritten baselines;
+* :mod:`repro.analysis` — memory / code-size / LoC measurement utilities;
+* :mod:`repro.bench` — benchmark harness shared by the ``benchmarks/`` suite.
+"""
+
+from .annotation import Platform, PlatformRun, TargetApplication
+from .aop import Aspect, Weaver
+from .aspects import (
+    DistributedMemoryAspect,
+    SharedMemoryAspect,
+    hybrid_aspects,
+    mpi_aspects,
+    openmp_aspects,
+)
+from .memory import Env
+from .runtime import CostModel, MachineSpec, OAKBRIDGE_CX_LIKE
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Platform",
+    "PlatformRun",
+    "TargetApplication",
+    "Aspect",
+    "Weaver",
+    "Env",
+    "DistributedMemoryAspect",
+    "SharedMemoryAspect",
+    "hybrid_aspects",
+    "mpi_aspects",
+    "openmp_aspects",
+    "CostModel",
+    "MachineSpec",
+    "OAKBRIDGE_CX_LIKE",
+    "__version__",
+]

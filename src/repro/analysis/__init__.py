@@ -1,0 +1,19 @@
+"""Measurement utilities backing the non-timing experiments (Figs. 12, Tables I–II)."""
+
+from .codesize import SizeReport, class_code_bytes, configuration_size, module_code_bytes
+from .loc_counter import LocBreakdown, count_loc, count_loc_in_file, count_loc_in_source
+from .memory_report import MemoryBreakdown, measure_env, measure_handwritten
+
+__all__ = [
+    "SizeReport",
+    "class_code_bytes",
+    "configuration_size",
+    "module_code_bytes",
+    "LocBreakdown",
+    "count_loc",
+    "count_loc_in_file",
+    "count_loc_in_source",
+    "MemoryBreakdown",
+    "measure_env",
+    "measure_handwritten",
+]

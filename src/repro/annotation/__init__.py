@@ -1,0 +1,6 @@
+"""Annotation Library and Platform driver (Platform Part A.1 of the paper)."""
+
+from .driver import Platform, PlatformRun
+from .target import KernelFn, TargetApplication
+
+__all__ = ["Platform", "PlatformRun", "TargetApplication", "KernelFn"]

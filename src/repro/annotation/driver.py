@@ -1,0 +1,197 @@
+"""The Platform driver: weaves aspects and executes applications.
+
+This module plays the role of the paper's build/run pipeline (Fig. 3):
+
+* "Platform" (direct C++ compile)           → ``Platform(transcompile=False)``
+* "Platform NOP" (AC++ weave, no aspects)   → ``Platform(aspects=[])``
+* "Platform MPI" / "Platform OMP" / hybrid  → ``Platform(aspects=[...])``
+
+``Platform.run(AppClass)`` corresponds to compiling the end-user's
+Application Code together with the selected Aspect Modules and running
+the resulting binary: the driver weaves the application class and the
+Env class, wraps its own execution entry point (the ``main`` join
+point, AspectType I's pointcut), and then runs Initialize → Processing
+→ Finalize.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from ..aop.aspect import Aspect
+from ..aop.registry import TAG_ENTRY
+from ..aop.weaver import Weaver
+from ..memory.env import Env, EnvStats
+from ..runtime.machine import OAKBRIDGE_CX_LIKE, MachineSpec
+from ..runtime.tracing import TaskCounters, global_trace
+from .target import TargetApplication
+
+__all__ = ["Platform", "PlatformRun"]
+
+
+@dataclass
+class PlatformRun:
+    """Everything a benchmark needs to know about one platform execution."""
+
+    #: The application instance of the master task (rank 0 / thread 0).
+    app: TargetApplication
+    #: Wall-clock of the whole run (seconds, measured with perf_counter).
+    elapsed: float
+    #: Per-task work/traffic counters captured during the run.
+    counters: Dict[tuple, TaskCounters] = field(default_factory=dict)
+    #: Env statistics of the master task's Env.
+    env_stats: Optional[EnvStats] = None
+    #: Aggregate network traffic (empty when no distributed layer attached).
+    network: dict = field(default_factory=dict)
+    #: Parallelism of the run, e.g. {"mpi": 4, "omp": 2}.
+    layers: Dict[str, int] = field(default_factory=dict)
+    #: Memory report of the master task's Env (Fig. 12).
+    memory: dict = field(default_factory=dict)
+
+    @property
+    def result(self) -> Any:
+        return self.app.result
+
+
+class Platform:
+    """Builds (weaves) and executes platform applications.
+
+    Parameters
+    ----------
+    aspects:
+        Aspect module instances to weave, ordered by their own
+        precedence.  ``None`` (the default) means "do not transcompile
+        at all" — the application runs exactly as written, which is the
+        paper's plain "Platform" configuration.  An empty list means
+        "transcompile with no aspect modules" ("Platform NOP").
+    mmat:
+        Enable MMAT on every Env the application builds.
+    env_pool_bytes:
+        Size of the memory pool backing each Env.
+    machine:
+        Machine description used by benchmarks' cost model (not used for
+        functional execution).
+    """
+
+    def __init__(
+        self,
+        aspects: Optional[Sequence[Aspect]] = None,
+        *,
+        mmat: bool = False,
+        env_pool_bytes: int = 64 * 1024 * 1024,
+        machine: MachineSpec = OAKBRIDGE_CX_LIKE,
+        transcompile: Optional[bool] = None,
+    ) -> None:
+        if transcompile is None:
+            transcompile = aspects is not None
+        self.transcompile = transcompile
+        self.aspects: List[Aspect] = list(aspects or [])
+        self.mmat_enabled = bool(mmat)
+        self.env_pool_bytes = int(env_pool_bytes)
+        self.machine = machine
+        #: Shared scratch space aspect modules use to exchange run-level
+        #: objects (e.g. the MPI world), keyed by aspect-defined names.
+        self.context: Dict[str, Any] = {}
+
+        if self.transcompile:
+            self.weaver: Optional[Weaver] = Weaver(self.aspects)
+            self.env_class: Type[Env] = self.weaver.weave_class(Env)
+        else:
+            if self.aspects:
+                raise ValueError(
+                    "aspect modules require transcompilation; "
+                    "pass transcompile=True (or leave it unset)"
+                )
+            self.weaver = None
+            self.env_class = Env
+
+    # ------------------------------------------------------------------
+    @property
+    def total_tasks(self) -> int:
+        total = 1
+        for aspect in self.aspects:
+            total *= getattr(aspect, "parallelism", 1)
+        return total
+
+    def layer_parallelism(self) -> Dict[str, int]:
+        layers: Dict[str, int] = {}
+        for aspect in self.aspects:
+            layer = getattr(aspect, "layer", None)
+            if layer:
+                layers[layer] = getattr(aspect, "parallelism", 1)
+        return layers
+
+    def parallelism_of(self, layer: str) -> int:
+        return self.layer_parallelism().get(layer, 1)
+
+    # ------------------------------------------------------------------
+    def build(self, app_cls: Type[TargetApplication]) -> Type[TargetApplication]:
+        """Weave (or pass through) the application class.
+
+        Corresponds to the compile/transcompile step of Fig. 3; exposed
+        separately so the binary-size benchmark (Table I) can inspect
+        the woven artefact without running it.
+        """
+        if not issubclass(app_cls, TargetApplication):
+            raise TypeError(
+                f"{app_cls.__name__} must inherit TargetApplication (the annotation "
+                "library's virtual class)"
+            )
+        if not self.transcompile:
+            return app_cls
+        assert self.weaver is not None
+        return self.weaver.weave_class(app_cls)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, app_cls: Type[TargetApplication], *, config: Optional[dict] = None
+    ) -> PlatformRun:
+        """Weave and execute an application; return the run record."""
+        woven_cls = self.build(app_cls)
+        trace = global_trace()
+        trace.reset()
+        self.context.clear()
+
+        for aspect in self.aspects:
+            aspect.on_attach(self)
+
+        def execute() -> TargetApplication:
+            """The program entry point — AspectType I's outermost join point."""
+            app = woven_cls(config)
+            app.bind_platform(self)
+            app.initialize()
+            app.processing()
+            app.finalize()
+            return app
+
+        if self.transcompile:
+            assert self.weaver is not None
+            entry = self.weaver.weave_function(execute, tags=(TAG_ENTRY,))
+        else:
+            entry = execute
+
+        start = time.perf_counter()
+        try:
+            app = entry()
+        finally:
+            for aspect in self.aspects:
+                aspect.on_detach(self)
+        elapsed = time.perf_counter() - start
+
+        env_stats = app.env.stats if app.env is not None else None
+        memory = app.env.memory_report() if app.env is not None else {}
+        network = {}
+        world = self.context.get("mpi_world")
+        if world is not None:
+            network = world.traffic_summary()
+        return PlatformRun(
+            app=app,
+            elapsed=elapsed,
+            counters=trace.all_counters(),
+            env_stats=env_stats,
+            network=network,
+            layers=self.layer_parallelism(),
+            memory=memory,
+        )

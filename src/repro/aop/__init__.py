@@ -1,0 +1,108 @@
+"""Aspect-Oriented Programming engine (the platform's weaving substrate).
+
+This package is the Python counterpart of the paper's use of AspectC++:
+it implements the JoinPoint Model — pointcuts selecting join point
+shadows, advice (before/after/around) executed at those join points,
+aspects grouping advice, and a weaver that produces woven classes and
+functions.
+
+Public API
+----------
+
+* pointcuts: :func:`execution`, :func:`call`, :func:`named`,
+  :func:`within`, :func:`tagged`, :func:`subtype_of`,
+  :func:`any_joinpoint`
+* advice decorators: :func:`before`, :func:`after`,
+  :func:`after_returning`, :func:`after_throwing`, :func:`around`
+* :class:`Aspect`, :class:`Weaver`, :class:`JoinPoint`
+* annotations: :func:`annotate`, :func:`platform_pointcuts`
+"""
+
+from .advice import (
+    Advice,
+    AdviceKind,
+    after,
+    after_returning,
+    after_throwing,
+    around,
+    before,
+)
+from .aspect import Aspect
+from .errors import (
+    AdviceSignatureError,
+    AopError,
+    AspectDefinitionError,
+    PointcutSyntaxError,
+    WeaveError,
+)
+from .joinpoint import JoinPoint, JoinPointKind, JoinPointShadow, shadow_of
+from .pointcut import (
+    Pointcut,
+    any_joinpoint,
+    call,
+    execution,
+    named,
+    no_joinpoint,
+    subtype_of,
+    tagged,
+    within,
+)
+from .registry import (
+    TAG_ENTRY,
+    TAG_FINALIZE,
+    TAG_GET_BLOCKS,
+    TAG_INITIALIZE,
+    TAG_KERNEL,
+    TAG_PROCESSING,
+    TAG_REFRESH,
+    TAG_TARGET,
+    PointcutRegistry,
+    annotate,
+    platform_pointcuts,
+    tags_of,
+)
+from .weaver import Weaver, WovenInfo, is_woven
+
+__all__ = [
+    "Advice",
+    "AdviceKind",
+    "Aspect",
+    "JoinPoint",
+    "JoinPointKind",
+    "JoinPointShadow",
+    "Pointcut",
+    "PointcutRegistry",
+    "Weaver",
+    "WovenInfo",
+    "AopError",
+    "PointcutSyntaxError",
+    "WeaveError",
+    "AdviceSignatureError",
+    "AspectDefinitionError",
+    "annotate",
+    "tags_of",
+    "platform_pointcuts",
+    "shadow_of",
+    "is_woven",
+    "execution",
+    "call",
+    "named",
+    "within",
+    "tagged",
+    "subtype_of",
+    "any_joinpoint",
+    "no_joinpoint",
+    "before",
+    "after",
+    "after_returning",
+    "after_throwing",
+    "around",
+    "TAG_ENTRY",
+    "TAG_TARGET",
+    "TAG_INITIALIZE",
+    "TAG_PROCESSING",
+    "TAG_FINALIZE",
+    "TAG_GET_BLOCKS",
+    "TAG_REFRESH",
+    "TAG_KERNEL",
+]

@@ -1,0 +1,140 @@
+"""Advice declarations.
+
+Advice is the behaviour an aspect injects at matched join points.  As in
+AspectC++ there are several insertion positions (§III-A1: "There are
+several ways to insert Advice: before, after, or replacing the entire
+process"):
+
+* ``before``          — runs before the intercepted body;
+* ``after``           — runs after the body, whether it returned or raised;
+* ``after_returning`` — runs only after a normal return;
+* ``after_throwing``  — runs only when the body raised;
+* ``around``          — replaces the body; the advice decides whether and
+  how often to call :meth:`JoinPoint.proceed`.
+
+Advice bodies are plain callables receiving the :class:`JoinPoint`.
+Inside an :class:`~repro.aop.aspect.Aspect` subclass they are declared
+with the :func:`before` / :func:`after` / :func:`around` decorators and
+receive ``(self, jp)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .errors import AdviceSignatureError
+from .joinpoint import JoinPoint
+from .pointcut import Pointcut
+
+__all__ = [
+    "AdviceKind",
+    "Advice",
+    "before",
+    "after",
+    "after_returning",
+    "after_throwing",
+    "around",
+]
+
+
+class AdviceKind(enum.Enum):
+    """Insertion position of an advice relative to the join point body."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    AFTER_RETURNING = "after_returning"
+    AFTER_THROWING = "after_throwing"
+    AROUND = "around"
+
+
+@dataclass
+class Advice:
+    """A single advice: *what* to run (``body``), *where* (``pointcut``),
+    *when* (``kind``) and in what relative ``order``.
+
+    ``order`` follows AspectJ-style precedence: lower numbers are
+    "outer".  For ``before``/``around`` advice lower order runs first;
+    for ``after*`` advice lower order runs last (it wraps the others).
+    """
+
+    kind: AdviceKind
+    pointcut: Pointcut
+    body: Callable[..., Any]
+    order: int = 0
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not callable(self.body):
+            raise AdviceSignatureError(f"advice body must be callable, got {self.body!r}")
+        if not self.name:
+            self.name = getattr(self.body, "__name__", "<advice>")
+        try:
+            params = inspect.signature(self.body).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            params = {}
+        if params is not None and len(params) == 0:
+            raise AdviceSignatureError(
+                f"advice {self.name!r} must accept the join point as a parameter"
+            )
+
+    # ------------------------------------------------------------------
+    def bind(self, instance: Any) -> "Advice":
+        """Return a copy of this advice with ``body`` bound to ``instance``.
+
+        Used by :class:`~repro.aop.aspect.Aspect` so that advice methods
+        declared on an aspect class receive the aspect instance as
+        ``self`` (aspects are stateful in this platform: e.g. the MPI
+        aspect stores the simulated communicator).
+        """
+        bound = functools.partial(self.body, instance)
+        functools.update_wrapper(bound, self.body)
+        return Advice(
+            kind=self.kind,
+            pointcut=self.pointcut,
+            body=bound,
+            order=self.order,
+            name=self.name,
+        )
+
+    def applies_to(self, shadow) -> bool:
+        """Return True when this advice's pointcut selects ``shadow``."""
+        return self.pointcut.matches(shadow)
+
+    def invoke(self, jp: JoinPoint) -> Any:
+        """Invoke the advice body with the join point."""
+        return self.body(jp)
+
+
+# ----------------------------------------------------------------------
+# decorators for declaring advice inside Aspect subclasses
+# ----------------------------------------------------------------------
+
+def _make_decorator(kind: AdviceKind):
+    def decorator(pointcut: Pointcut, *, order: int = 0):
+        if not isinstance(pointcut, Pointcut):
+            raise AdviceSignatureError(
+                f"@{kind.value} expects a Pointcut, got {pointcut!r}"
+            )
+
+        def wrap(func: Callable) -> Callable:
+            declarations = list(getattr(func, "__aop_advice__", ()))
+            declarations.append((kind, pointcut, order))
+            func.__aop_advice__ = tuple(declarations)
+            return func
+
+        return wrap
+
+    decorator.__name__ = kind.value
+    decorator.__doc__ = f"Declare a method of an Aspect as '{kind.value}' advice."
+    return decorator
+
+
+before = _make_decorator(AdviceKind.BEFORE)
+after = _make_decorator(AdviceKind.AFTER)
+after_returning = _make_decorator(AdviceKind.AFTER_RETURNING)
+after_throwing = _make_decorator(AdviceKind.AFTER_THROWING)
+around = _make_decorator(AdviceKind.AROUND)

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the AOP (aspect weaving) engine.
+
+The weaving engine mirrors AspectC++'s behaviour of failing loudly at
+weave time whenever an aspect is malformed (bad pointcut expression,
+advice with the wrong signature, ...) rather than silently producing a
+program with missing advice.
+"""
+
+from __future__ import annotations
+
+
+class AopError(Exception):
+    """Base class for all errors raised by :mod:`repro.aop`."""
+
+
+class PointcutSyntaxError(AopError):
+    """A pointcut expression could not be parsed."""
+
+
+class WeaveError(AopError):
+    """A weave operation could not be completed."""
+
+
+class AdviceSignatureError(AopError):
+    """An advice body does not accept the required parameters."""
+
+
+class AspectDefinitionError(AopError):
+    """An :class:`~repro.aop.aspect.Aspect` subclass is malformed."""

@@ -1,0 +1,195 @@
+"""Pointcut expressions.
+
+A *pointcut* is a predicate over :class:`~repro.aop.joinpoint.JoinPointShadow`
+objects.  Pointcuts form a small boolean algebra (``&``, ``|``, ``~``) so
+aspect modules can compose platform-provided named pointcuts, as the
+paper's Aspect Module Library does for its three advice groups
+(AspectType I/II/III, §III-B7).
+
+Two families of primitive pointcuts are provided:
+
+* **structural** — :func:`execution`, :func:`call`, :func:`within`,
+  :func:`named`: match the module/class/function name with shell-style
+  wildcards (AspectC++ uses a very similar match expression syntax,
+  e.g. ``"% …::Processing(...)"``).
+* **semantic** — :func:`tagged`, :func:`subtype_of`: match the
+  annotation tags the platform libraries attach to their classes, which
+  is how the platform avoids unintended join points in end-user code.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Callable, Iterable
+
+from .errors import PointcutSyntaxError
+from .joinpoint import JoinPointKind, JoinPointShadow
+
+__all__ = [
+    "Pointcut",
+    "execution",
+    "call",
+    "within",
+    "named",
+    "tagged",
+    "subtype_of",
+    "any_joinpoint",
+    "no_joinpoint",
+]
+
+
+class Pointcut:
+    """Predicate over join point shadows, composable with ``& | ~``."""
+
+    def __init__(self, predicate: Callable[[JoinPointShadow], bool], description: str) -> None:
+        self._predicate = predicate
+        self.description = description
+
+    # ------------------------------------------------------------------
+    def matches(self, shadow: JoinPointShadow) -> bool:
+        """Return True when ``shadow`` is selected by this pointcut."""
+        return bool(self._predicate(shadow))
+
+    __call__ = matches
+
+    # -- boolean algebra ------------------------------------------------
+    def __and__(self, other: "Pointcut") -> "Pointcut":
+        return Pointcut(
+            lambda s: self.matches(s) and other.matches(s),
+            f"({self.description} && {other.description})",
+        )
+
+    def __or__(self, other: "Pointcut") -> "Pointcut":
+        return Pointcut(
+            lambda s: self.matches(s) or other.matches(s),
+            f"({self.description} || {other.description})",
+        )
+
+    def __invert__(self) -> "Pointcut":
+        return Pointcut(lambda s: not self.matches(s), f"!{self.description}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pointcut<{self.description}>"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _parse_pattern(pattern: str) -> tuple[str, str]:
+    """Split ``"Class.method"`` / ``"method"`` patterns.
+
+    Returns ``(class_pattern, name_pattern)`` where either component may
+    be a wildcard.  An empty pattern is a syntax error — AspectC++ also
+    rejects empty match expressions.
+    """
+    if not isinstance(pattern, str) or not pattern.strip():
+        raise PointcutSyntaxError(f"empty or non-string pointcut pattern: {pattern!r}")
+    pattern = pattern.strip()
+    if "." in pattern:
+        cls_pat, _, name_pat = pattern.rpartition(".")
+    else:
+        cls_pat, name_pat = "*", pattern
+    if not name_pat:
+        raise PointcutSyntaxError(f"pattern has empty member name: {pattern!r}")
+    return cls_pat or "*", name_pat
+
+
+def _match_qualname(shadow: JoinPointShadow, cls_pat: str, name_pat: str) -> bool:
+    cls_name = shadow.cls if shadow.cls is not None else ""
+    return fnmatch.fnmatchcase(cls_name, cls_pat) and fnmatch.fnmatchcase(
+        shadow.name, name_pat
+    ) or (cls_pat == "*" and fnmatch.fnmatchcase(shadow.name, name_pat))
+
+
+# ----------------------------------------------------------------------
+# primitive pointcuts
+# ----------------------------------------------------------------------
+
+def execution(pattern: str) -> Pointcut:
+    """Match *execution* join points whose qualified name matches ``pattern``.
+
+    ``pattern`` is ``"ClassName.method"`` with shell wildcards in either
+    component, or a bare ``"function"`` name (class part treated as
+    ``*``).
+    """
+    cls_pat, name_pat = _parse_pattern(pattern)
+    return Pointcut(
+        lambda s: s.kind is JoinPointKind.EXECUTION and _match_qualname(s, cls_pat, name_pat),
+        f"execution({pattern})",
+    )
+
+
+def call(pattern: str) -> Pointcut:
+    """Match *call* join points whose qualified name matches ``pattern``."""
+    cls_pat, name_pat = _parse_pattern(pattern)
+    return Pointcut(
+        lambda s: s.kind is JoinPointKind.CALL and _match_qualname(s, cls_pat, name_pat),
+        f"call({pattern})",
+    )
+
+
+def named(pattern: str) -> Pointcut:
+    """Match join points of *either* kind whose qualified name matches."""
+    cls_pat, name_pat = _parse_pattern(pattern)
+    return Pointcut(
+        lambda s: _match_qualname(s, cls_pat, name_pat),
+        f"named({pattern})",
+    )
+
+
+def within(module_pattern: str) -> Pointcut:
+    """Match join points defined inside modules matching ``module_pattern``."""
+    if not module_pattern:
+        raise PointcutSyntaxError("within() requires a non-empty module pattern")
+    return Pointcut(
+        lambda s: fnmatch.fnmatchcase(s.module, module_pattern),
+        f"within({module_pattern})",
+    )
+
+
+def tagged(*tags: str) -> Pointcut:
+    """Match join points carrying *all* of the given annotation tags.
+
+    Annotation tags are attached by the platform's annotation/memory
+    libraries via :func:`repro.aop.registry.annotate`; this is the main
+    mechanism the paper uses to ensure aspects only apply to
+    platform-defined join points (§III-B5).
+    """
+    if not tags:
+        raise PointcutSyntaxError("tagged() requires at least one tag")
+    tagset = frozenset(tags)
+    return Pointcut(
+        lambda s: tagset.issubset(s.tags),
+        f"tagged({', '.join(sorted(tagset))})",
+    )
+
+
+def subtype_of(base: type) -> Pointcut:
+    """Match join points on classes that inherit from ``base``.
+
+    The match is by class *name chain*, recorded as tags of the form
+    ``class:<Name>`` added by the weaver when it inspects the target's
+    MRO — this keeps shadows picklable and keeps the pointcut a pure
+    function of the shadow.
+    """
+    tag = f"class:{base.__name__}"
+    return Pointcut(lambda s: tag in s.tags, f"subtype_of({base.__name__})")
+
+
+def any_joinpoint() -> Pointcut:
+    """Pointcut matching every join point (useful for tracing aspects)."""
+    return Pointcut(lambda s: True, "any")
+
+
+def no_joinpoint() -> Pointcut:
+    """Pointcut matching nothing (identity for ``|``)."""
+    return Pointcut(lambda s: False, "none")
+
+
+def union(pointcuts: Iterable[Pointcut]) -> Pointcut:
+    """Return the union of an iterable of pointcuts."""
+    result = no_joinpoint()
+    for pc in pointcuts:
+        result = result | pc
+    return result

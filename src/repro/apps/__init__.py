@@ -1,0 +1,25 @@
+"""App Part: end-user applications and the handwritten baselines.
+
+* Platform applications (end-user code on the sample DSLs):
+  :class:`JacobiSGrid`, :class:`JacobiUSGrid`, :class:`ParticleSimulation`.
+* Handwritten serial baselines (the paper's "Handwritten" codes):
+  :class:`HandwrittenSGrid`, :class:`HandwrittenUSGrid`,
+  :class:`HandwrittenParticle`.
+"""
+
+from .handwritten_particle import HandwrittenParticle
+from .handwritten_sgrid import DoubleBufferedGrid, HandwrittenSGrid
+from .handwritten_usgrid import HandwrittenUSGrid
+from .jacobi_sgrid import JacobiSGrid
+from .jacobi_usgrid import JacobiUSGrid
+from .particle_sim import ParticleSimulation
+
+__all__ = [
+    "JacobiSGrid",
+    "JacobiUSGrid",
+    "ParticleSimulation",
+    "HandwrittenSGrid",
+    "HandwrittenUSGrid",
+    "HandwrittenParticle",
+    "DoubleBufferedGrid",
+]

@@ -1,0 +1,167 @@
+"""Handwritten baseline for the particle-method benchmark.
+
+Serial, double-buffered bucketed particle simulation with the same
+initial particle placement, the same wall-particle model and the same
+force law as :class:`~repro.apps.particle_sim.ParticleSimulation`, but
+implemented directly over Python/numpy containers without the platform.
+Used both as the Fig. 6 performance baseline and as the numerical
+reference the platform version is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["HandwrittenParticle"]
+
+
+class HandwrittenParticle:
+    """Serial bucketed particle simulation (reference implementation)."""
+
+    def __init__(
+        self,
+        particles: int = 1024,
+        *,
+        bucket_capacity: int = 16,
+        bucket_size: float = 1.0,
+        block_buckets: int = 8,
+        dt: float = 1e-3,
+        loops: int = 2,
+        cutoff: float | None = None,
+        stiffness: float = 5.0,
+    ) -> None:
+        self.particles = particles
+        self.bucket_capacity = bucket_capacity
+        self.bucket_size = bucket_size
+        self.dt = dt
+        self.loops = loops
+        self.cutoff = bucket_size if cutoff is None else cutoff
+        self.stiffness = stiffness
+
+        # Bucket grid sized exactly like the DSL's (see ParticleTarget).
+        density = bucket_capacity // 2
+        buckets_needed = max(1, -(-particles // density))
+        grid = 1
+        while grid * grid < buckets_needed:
+            grid *= 2
+        self.bucket_grid = max(grid, block_buckets)
+
+        #: bucket (bx, by) -> list of particle records
+        #: [id, px, py, pz, vx, vy, vz, ax, ay, az]
+        self.buckets: Dict[Tuple[int, int], List[np.ndarray]] = {}
+        self._initialise()
+
+    # ------------------------------------------------------------------
+    def _initialise(self) -> None:
+        n = self.bucket_grid
+        per_bucket = -(-self.particles // (n * n))
+        if per_bucket > self.bucket_capacity:
+            raise ValueError("too many particles per bucket")
+        size = self.bucket_size
+        for by in range(n):
+            for bx in range(n):
+                bucket_linear = bx + by * n
+                remaining = min(
+                    per_bucket, max(0, self.particles - bucket_linear * per_bucket)
+                )
+                per_edge = max(1, int(np.ceil(np.sqrt(remaining))))
+                records = []
+                for index in range(remaining):
+                    gx = index % per_edge
+                    gy = index // per_edge
+                    px = (bx + (gx + 0.5) / per_edge) * size
+                    py = (by + (gy + 0.5) / per_edge) * size
+                    particle_id = float(bucket_linear * self.bucket_capacity + index)
+                    records.append(
+                        np.array(
+                            [particle_id, px, py, 0.5 * size, 0, 0, 0, 0, 0, 0],
+                            dtype=np.float64,
+                        )
+                    )
+                self.buckets[(bx, by)] = records
+
+    # ------------------------------------------------------------------
+    def _wall_positions(self, bx: int, by: int) -> np.ndarray:
+        """Positions of the fixed wall particles of an out-of-domain bucket."""
+        capacity = self.bucket_capacity
+        size = self.bucket_size
+        per_edge = min(4, int(np.sqrt(capacity)))
+        positions = []
+        for j in range(per_edge):
+            for i in range(per_edge):
+                if len(positions) >= capacity:
+                    break
+                positions.append(
+                    (
+                        (bx + (i + 0.5) / per_edge) * size,
+                        (by + (j + 0.5) / per_edge) * size,
+                        0.5 * size,
+                    )
+                )
+        return np.array(positions, dtype=np.float64)
+
+    def _neighbour_positions(self, bx: int, by: int) -> np.ndarray:
+        n = self.bucket_grid
+        chunks = []
+        for dj in (-1, 0, 1):
+            for di in (-1, 0, 1):
+                x, y = bx + di, by + dj
+                if 0 <= x < n and 0 <= y < n:
+                    records = self.buckets[(x, y)]
+                    if records:
+                        chunks.append(np.array([r[1:4] for r in records]))
+                else:
+                    chunks.append(self._wall_positions(x, y))
+        if not chunks:
+            return np.empty((0, 3))
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        dt = self.dt
+        cutoff = self.cutoff
+        stiffness = self.stiffness
+        new_buckets: Dict[Tuple[int, int], List[np.ndarray]] = {}
+        for (bx, by), records in self.buckets.items():
+            others = self._neighbour_positions(bx, by)
+            updated = []
+            for rec in records:
+                rec = rec.copy()
+                pos = rec[1:4]
+                vel = rec[4:7]
+                acc = np.zeros(3)
+                if len(others):
+                    delta = pos[None, :] - others
+                    dist = np.sqrt((delta ** 2).sum(axis=1))
+                    mask = (dist > 1e-12) & (dist < cutoff)
+                    if mask.any():
+                        d = dist[mask][:, None]
+                        w = stiffness * (1.0 - d / cutoff) ** 2
+                        acc = (w * delta[mask] / d).sum(axis=0)
+                vel = vel + acc * dt
+                rec[1:4] = pos + vel * dt
+                rec[4:7] = vel
+                rec[7:10] = acc
+                updated.append(rec)
+            new_buckets[(bx, by)] = updated
+        self.buckets = new_buckets
+
+    def run(self) -> np.ndarray:
+        """Run ``loops`` steps; return sorted (id, px, py, pz, vx, vy, vz) rows."""
+        for _ in range(self.loops):
+            self.step()
+        rows = []
+        for records in self.buckets.values():
+            for rec in records:
+                rows.append(rec[:7].copy())
+        if not rows:
+            return np.empty((0, 7))
+        return np.array(sorted(rows, key=lambda r: r[0]))
+
+    def memory_bytes(self) -> int:
+        total = 0
+        for records in self.buckets.values():
+            total += sum(int(r.nbytes) for r in records)
+        return total

@@ -1,0 +1,96 @@
+"""Handwritten baseline for the structured-grid benchmark.
+
+The Python counterpart of the paper's Listing 2: "a simple serial code
+with double-buffering without MPI, OpenMP, and SIMD optimization".  The
+data lives in a flat array behind a small wrapper whose ``get`` applies
+the boundary condition when the address falls outside the region, and
+the kernel is a plain nested loop over all points — deliberately the
+same per-point style as the platform kernel, so the Fig. 6 comparison
+measures the platform's Env/search/weaving overhead rather than a
+difference in programming style.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["HandwrittenSGrid", "DoubleBufferedGrid"]
+
+
+class DoubleBufferedGrid:
+    """Double-buffered 2-D array with boundary handling in ``get``."""
+
+    def __init__(self, size: int, boundary_value: float = 0.0) -> None:
+        self.size = size
+        self.boundary_value = boundary_value
+        self._read = np.zeros((size, size), dtype=np.float64)
+        self._write = np.zeros((size, size), dtype=np.float64)
+
+    def get(self, x: int, y: int) -> float:
+        if 0 <= x < self.size and 0 <= y < self.size:
+            return float(self._read[x, y])
+        return self.boundary_value
+
+    def set(self, x: int, y: int, value: float) -> None:
+        self._write[x, y] = value
+
+    def refresh(self) -> None:
+        """Exchange the read and write buffers."""
+        self._read, self._write = self._write, self._read
+
+    def fill(self, init: Callable[[int, int], float]) -> None:
+        for y in range(self.size):
+            for x in range(self.size):
+                self._read[x, y] = init(x, y)
+        self._write[...] = self._read
+
+    def snapshot(self) -> np.ndarray:
+        return self._read.copy()
+
+
+class HandwrittenSGrid:
+    """Serial Jacobi solver used as the "Handwritten" reference."""
+
+    def __init__(
+        self,
+        region: int = 64,
+        *,
+        alpha: float = 0.2,
+        beta: float = 0.2,
+        loops: int = 4,
+        boundary_value: float = 0.0,
+        init: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        self.region = region
+        self.alpha = alpha
+        self.beta = beta
+        self.loops = loops
+        self.mem = DoubleBufferedGrid(region, boundary_value)
+        if init is not None:
+            self.mem.fill(init)
+
+    # ------------------------------------------------------------------
+    def run(self) -> np.ndarray:
+        """Execute ``loops`` Jacobi sweeps and return the final field."""
+        mem = self.mem
+        size = self.region
+        alpha, beta = self.alpha, self.beta
+        for _ in range(self.loops):
+            for y in range(size):
+                for x in range(size):
+                    v1 = alpha * mem.get(x, y)
+                    v2 = beta * (
+                        mem.get(x - 1, y)
+                        + mem.get(x + 1, y)
+                        + mem.get(x, y - 1)
+                        + mem.get(x, y + 1)
+                    )
+                    mem.set(x, y, v1 + v2)
+            mem.refresh()
+        return mem.snapshot()
+
+    def memory_bytes(self) -> int:
+        """Working-set size of the handwritten program (Fig. 12 baseline)."""
+        return int(self.mem._read.nbytes + self.mem._write.nbytes)

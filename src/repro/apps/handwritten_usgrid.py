@@ -1,0 +1,117 @@
+"""Handwritten baseline for the unstructured-grid benchmark.
+
+Serial double-buffered Jacobi over an explicit cell array with a
+neighbour table, mirroring the USGrid DSL's data layout (including the
+CaseC / CaseR cell-index permutations) but without any platform
+machinery.  Out-of-domain neighbours are represented by addresses past
+the interior cells whose value is the constant boundary value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["HandwrittenUSGrid"]
+
+
+class HandwrittenUSGrid:
+    """Serial Jacobi on an unstructured (indirectly addressed) grid."""
+
+    def __init__(
+        self,
+        region: int = 64,
+        *,
+        case: str = "C",
+        alpha: float = 0.2,
+        beta: float = 0.2,
+        loops: int = 4,
+        boundary_value: float = 0.0,
+        layout_seed: int = 20220329,
+        init: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        self.region = region
+        self.case = case.upper()
+        if self.case not in ("C", "R"):
+            raise ValueError(f"case must be 'C' or 'R', got {case!r}")
+        self.alpha = alpha
+        self.beta = beta
+        self.loops = loops
+        self.boundary_value = boundary_value
+        self.layout_seed = layout_seed
+        self.cell_count = region * region
+        self.boundary_cells = 2 * (region + 2) + 2 * region
+
+        # Layout: grid position -> cell index (identical to the DSL's).
+        rowmajor = np.arange(self.cell_count, dtype=np.int64).reshape(region, region)
+        if self.case == "C":
+            self.index_map = rowmajor
+        else:
+            rng = np.random.default_rng(layout_seed)
+            self.index_map = rng.permutation(self.cell_count)[rowmajor]
+
+        total = self.cell_count + self.boundary_cells
+        self.values = np.zeros(total, dtype=np.float64)
+        self.values[self.cell_count :] = boundary_value
+        self.next_values = self.values.copy()
+        self.neighbours = np.zeros((self.cell_count, 4), dtype=np.int64)
+        self._build_neighbours()
+        if init is not None:
+            for y in range(region):
+                for x in range(region):
+                    self.values[self.index_map[x, y]] = init(x, y)
+            self.next_values[...] = self.values
+
+    # ------------------------------------------------------------------
+    def _boundary_address(self, x: int, y: int) -> int:
+        n = self.region
+        if y < 0:
+            k = x + 1
+        elif y >= n:
+            k = (n + 2) + x + 1
+        elif x < 0:
+            k = 2 * (n + 2) + y
+        else:
+            k = 2 * (n + 2) + n + y
+        return self.cell_count + k
+
+    def _build_neighbours(self) -> None:
+        n = self.region
+
+        def address(x: int, y: int) -> int:
+            if 0 <= x < n and 0 <= y < n:
+                return int(self.index_map[x, y])
+            return self._boundary_address(x, y)
+
+        for y in range(n):
+            for x in range(n):
+                cell = int(self.index_map[x, y])
+                self.neighbours[cell] = (
+                    address(x - 1, y),
+                    address(x + 1, y),
+                    address(x, y - 1),
+                    address(x, y + 1),
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> np.ndarray:
+        """Execute ``loops`` Jacobi sweeps; return the field on the (x, y) grid."""
+        alpha, beta = self.alpha, self.beta
+        values = self.values
+        next_values = self.next_values
+        neighbours = self.neighbours
+        for _ in range(self.loops):
+            for cell in range(self.cell_count):
+                w, e, n_, s = neighbours[cell]
+                next_values[cell] = alpha * values[cell] + beta * (
+                    values[w] + values[e] + values[n_] + values[s]
+                )
+            values, next_values = next_values, values
+        self.values, self.next_values = values, next_values
+        return self.values[self.index_map].copy()
+
+    def memory_bytes(self) -> int:
+        return int(
+            self.values.nbytes + self.next_values.nbytes + self.neighbours.nbytes
+        )

@@ -1,0 +1,56 @@
+"""End-user application: Jacobi solver on the structured-grid DSL.
+
+This is the "App Part" code — the Python counterpart of the paper's
+Listing 1.  The end user inherits the DSL's virtual class
+(:class:`~repro.dsl.sgrid.SGrid2DTarget`), implements ``processing``
+(warm-up once, then run the kernel ``loops`` times) and the kernel
+itself, which sweeps every Block the platform hands it and updates each
+point from its four neighbours (five-point Laplace stencil, Jacobi
+iteration).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dsl.sgrid import SGrid2DTarget
+
+__all__ = ["JacobiSGrid"]
+
+
+class JacobiSGrid(SGrid2DTarget):
+    """Jacobi relaxation of the Laplace equation on a 2-D structured grid.
+
+    Extra configuration keys on top of :class:`SGrid2DTarget`:
+
+    ``alpha`` / ``beta``
+        Stencil coefficients (default 0.2 each, i.e. the standard
+        five-point average when ``alpha + 4*beta == 1``).
+    """
+
+    def __init__(self, config: Optional[dict] = None) -> None:
+        super().__init__(config)
+        self.alpha: float = float(self.config.get("alpha", 0.2))
+        self.beta: float = float(self.config.get("beta", 0.2))
+
+    # -- Listing 1's Processing ------------------------------------------------
+    def processing(self) -> None:
+        self.warm_up(self.kernel)
+        for _ in range(self.loops):
+            self.run(self.kernel)
+
+    # -- Listing 1's Kernel<isWarmUp> -------------------------------------------
+    def kernel(self, warmup: bool) -> bool:
+        alpha, beta = self.alpha, self.beta
+        for block, k in self.block_kernels(warmup):
+            size_x, size_y = k.shape
+            for j in range(size_y):
+                for i in range(size_x):
+                    e_n = k.get((i, j - 1), j > 0)
+                    e_w = k.get((i - 1, j), i > 0)
+                    e = k.get_direct((i, j))
+                    e_e = k.get((i + 1, j), i + 1 < size_x)
+                    e_s = k.get((i, j + 1), j + 1 < size_y)
+                    ans = alpha * e + beta * (e_e + e_w + e_s + e_n)
+                    k.set((i, j), ans)
+        return self.refresh(warmup)

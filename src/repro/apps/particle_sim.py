@@ -1,0 +1,109 @@
+"""End-user application: short-range particle simulation on the particle DSL.
+
+Particles interact with every particle in their own bucket and in the
+eight surrounding buckets through a repulsive weight function of the
+inter-particle distance (the paper: "From the weight function of the
+influence distance between particles, the App Part can calculate the
+force by interacting with the particles in the surrounding eight
+buckets outside the target bucket").  The domain boundary is modelled
+by fixed wall particles supplied by the DSL's Arithmetic Block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dsl.particle import BucketView, ParticleTarget
+
+__all__ = ["ParticleSimulation"]
+
+
+class ParticleSimulation(ParticleTarget):
+    """Repulsive short-range particle dynamics on the bucketed particle DSL.
+
+    Extra configuration keys:
+
+    ``cutoff``
+        Interaction cut-off radius (default: one bucket edge).
+    ``stiffness``
+        Strength of the repulsive force (default 5.0).
+    """
+
+    def __init__(self, config: Optional[dict] = None) -> None:
+        super().__init__(config)
+        self.cutoff: float = float(self.config.get("cutoff", self.bucket_size))
+        self.stiffness: float = float(self.config.get("stiffness", 5.0))
+
+    def processing(self) -> None:
+        self.warm_up(self.kernel)
+        for _ in range(self.loops):
+            self.run(self.kernel)
+
+    # ------------------------------------------------------------------
+    def kernel(self, warmup: bool) -> bool:
+        dt = self.dt
+        cutoff = self.cutoff
+        stiffness = self.stiffness
+        capacity = self.bucket_capacity
+
+        for block, k in self.block_kernels(warmup):
+            size_x, size_y, _ = k.shape
+            for j in range(size_y):
+                for i in range(size_x):
+                    centre = BucketView(np.array(k.get_direct((i, j, 0))), capacity)
+                    # Gather neighbour particles (including wall particles from
+                    # the Arithmetic Block outside the domain).
+                    neighbour_positions = []
+                    for dj in (-1, 0, 1):
+                        for di in (-1, 0, 1):
+                            inside = (0 <= i + di < size_x) and (0 <= j + dj < size_y)
+                            raw = k.get((i + di, j + dj, 0), inside)
+                            view = BucketView(np.array(raw), capacity)
+                            if view.count:
+                                neighbour_positions.append(view.positions())
+                    if neighbour_positions:
+                        others = np.concatenate(neighbour_positions, axis=0)
+                    else:
+                        others = np.empty((0, 3))
+
+                    updated = []
+                    for p in range(centre.count):
+                        rec = centre.particle(p).copy()
+                        pos = rec[1:4]
+                        vel = rec[4:7]
+                        acc = np.zeros(3)
+                        if len(others):
+                            delta = pos[None, :] - others
+                            dist = np.sqrt((delta ** 2).sum(axis=1))
+                            mask = (dist > 1e-12) & (dist < cutoff)
+                            if mask.any():
+                                d = dist[mask][:, None]
+                                w = stiffness * (1.0 - d / cutoff) ** 2
+                                acc = (w * delta[mask] / d).sum(axis=0)
+                        vel = vel + acc * dt
+                        new_pos = pos + vel * dt
+                        self._check_stays_in_bucket(block, (i, j), new_pos)
+                        rec[1:4] = new_pos
+                        rec[4:7] = vel
+                        rec[7:10] = acc
+                        updated.append(rec)
+                    k.set((i, j, 0), BucketView.pack(updated, capacity))
+        return self.refresh(warmup)
+
+    # ------------------------------------------------------------------
+    def _check_stays_in_bucket(self, block, local, position) -> None:
+        """The prototype does not move particles between buckets; enforce it."""
+        i, j = local
+        bx = block.origin[0] + i
+        by = block.origin[1] + j
+        size = self.bucket_size
+        x, y = position[0], position[1]
+        if not (bx * size - 1e-9 <= x <= (bx + 1) * size + 1e-9) or not (
+            by * size - 1e-9 <= y <= (by + 1) * size + 1e-9
+        ):
+            raise RuntimeError(
+                "particle left its bucket; reduce dt/loops (the prototype, like the "
+                "paper's, does not implement particle movement between buckets)"
+            )

@@ -1,0 +1,25 @@
+"""Aspect Module Library (Platform Part A.3 of the paper).
+
+One reusable aspect module per HPC-system layer:
+
+* :class:`DistributedMemoryAspect` — the "MPI" layer (AspectType I/II/III);
+* :class:`SharedMemoryAspect` — the "OpenMP" layer (AspectType I/II);
+* :func:`hybrid_aspects` / :func:`mpi_aspects` / :func:`openmp_aspects` —
+  the standard combinations used by the evaluation;
+* :class:`PhaseTraceAspect` — diagnostic example aspect.
+"""
+
+from .base import LayerAspect
+from .hybrid import PhaseTraceAspect, hybrid_aspects, mpi_aspects, openmp_aspects
+from .mpi_aspect import DistributedMemoryAspect
+from .openmp_aspect import SharedMemoryAspect
+
+__all__ = [
+    "LayerAspect",
+    "DistributedMemoryAspect",
+    "SharedMemoryAspect",
+    "PhaseTraceAspect",
+    "hybrid_aspects",
+    "mpi_aspects",
+    "openmp_aspects",
+]

@@ -1,0 +1,194 @@
+"""Distributed-memory aspect module (the paper's "aspect of MPI").
+
+This module weaves the distributed-memory layer into an application:
+
+* **AspectType I — control of the runtime and tasks.**  Around the
+  program entry point it creates the simulated MPI world, runs the
+  whole program once per rank (SPMD) and finalises the runtime — the
+  direct analogue of "the initialization runtime and finalization
+  runtime Advices are performed before and after the entry point
+  (main of C++ programs)".
+* **AspectType II — assigning Blocks to tasks.**  Around
+  ``Env.get_blocks`` it restricts the returned Blocks to those whose
+  data-manage task belongs to the caller's rank.  (As in the paper's
+  prototype, the actual Z-order assignment is computed by the DSL layer
+  when it builds each rank's Env; the advice enforces/documents the
+  ownership split.)
+* **AspectType III — communication of data between tasks.**  Around
+  ``Env.refresh`` it implements the collective step protocol: agree
+  whether every rank's step succeeded, fetch the pages recorded as
+  non-existent from their owners when it did not, and — via the
+  **Dry-run** record — prefetch, after every successful refresh, the
+  pages this rank is known to need so later steps do not fail at all.
+
+The module also registers every rank's Env and Blocks in the world's
+:class:`~repro.runtime.simmpi.BlockDirectory` (after ``Initialize``),
+which is what lets page fetches name remote Blocks by logical key.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Set
+
+from ..aop.advice import after_returning, around
+from ..aop.pointcut import tagged
+from ..aop.registry import TAG_ENTRY, TAG_GET_BLOCKS, TAG_INITIALIZE, TAG_REFRESH
+from ..memory.block import BufferOnlyBlock, DataBlock
+from ..memory.page import PageKey
+from ..runtime.simmpi import MPIWorld
+from ..runtime.task import current_task
+from ..runtime.tracing import global_trace
+from .base import LayerAspect
+
+__all__ = ["DistributedMemoryAspect"]
+
+
+class DistributedMemoryAspect(LayerAspect):
+    """Aspect module managing the distributed-memory (MPI-like) layer."""
+
+    layer = "mpi"
+    #: Precedence: *inside* the shared-memory aspect (see aspects/__init__),
+    #: so that in hybrid runs only each rank's master thread executes the
+    #: collective refresh protocol.
+    order = 20
+
+    def __init__(self, processes: int = 1, *, timeout: float = 60.0) -> None:
+        super().__init__(parallelism=processes)
+        self.timeout = timeout
+        self.world: MPIWorld | None = None
+        #: Dry-run record: rank -> set of local PageKeys that had to be
+        #: fetched at least once; prefetched after every successful refresh.
+        self._dry_run: Dict[int, Set[PageKey]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # AspectType I — control of the runtime and tasks
+    # ------------------------------------------------------------------
+    @around(tagged(TAG_ENTRY), order=0)
+    def manage_runtime(self, jp):
+        """Initialise the distributed runtime, run the program per rank, finalise."""
+        platform = self.platform
+        world = MPIWorld(self.parallelism, timeout=self.timeout)
+        self.world = world
+        self._dry_run = {rank: set() for rank in range(world.size)}
+        if platform is not None:
+            platform.context["mpi_world"] = world
+        omp_threads = platform.parallelism_of("omp") if platform is not None else 1
+        entry = jp.continuation()
+
+        results = world.run_spmd(lambda _ctx: entry(), omp_threads=omp_threads)
+
+        world.finalize()
+        # The "result" of the program is rank 0's application instance,
+        # mirroring how the paper's benchmarks report from process 0.
+        return results[0].value
+
+    # ------------------------------------------------------------------
+    # Env / Block registration (runs after the DSL built each rank's Env)
+    # ------------------------------------------------------------------
+    @after_returning(tagged(TAG_INITIALIZE), order=0)
+    def register_env(self, jp):
+        """Register the rank's Env replica and its Blocks with the world."""
+        world = self.world
+        if world is None:
+            return
+        app = jp.target
+        env = getattr(app, "env", None)
+        if env is None:
+            return
+        rank = current_task().mpi_rank
+        world.register_env(rank, env)
+        omp_threads = current_task().omp_threads
+        for block in env.data_blocks(include_buffer_only=True):
+            logical_key = getattr(block, "logical_key", None)
+            if logical_key is None:
+                continue
+            owns = isinstance(block, DataBlock) and not isinstance(block, BufferOnlyBlock)
+            owns = owns and block.dm_tid == rank * omp_threads
+            world.directory.register(logical_key, rank, block.block_id, owner=owns)
+        # Every rank must finish registering before any rank starts
+        # computing (a fetch may target any rank from the first step).
+        world.network.barrier()
+
+    # ------------------------------------------------------------------
+    # AspectType II — assigning Blocks to tasks
+    # ------------------------------------------------------------------
+    @around(tagged(TAG_GET_BLOCKS), order=0)
+    def assign_blocks(self, jp):
+        """Restrict the Block list to those managed by the caller's rank."""
+        blocks = jp.proceed()
+        if self.world is None:
+            return blocks
+        task = current_task()
+        master_tid = task.mpi_rank * task.omp_threads
+        return [b for b in blocks if b.dm_tid == master_tid]
+
+    # ------------------------------------------------------------------
+    # AspectType III — communication of data between tasks
+    # ------------------------------------------------------------------
+    @around(tagged(TAG_REFRESH), order=0)
+    def exchange_data(self, jp):
+        """Collective refresh: agree on success, move pages, prefetch dry-run pages."""
+        world = self.world
+        if world is None:
+            return jp.proceed()
+        env = jp.target
+        task = current_task()
+        rank = task.mpi_rank
+        trace = global_trace().for_task()
+
+        local_ok = not env.missing_pages
+        global_ok = world.network.allreduce_and(local_ok)
+        trace.collectives += 1
+
+        if not global_ok:
+            # At least one rank accessed data it does not have: nobody may
+            # swap; ranks that failed fetch the missing pages and the step
+            # is re-executed (§III-B9).
+            if local_ok:
+                needed: Set[PageKey] = set()
+                result = False
+            else:
+                result = jp.proceed()  # records last_failed_pages, no swap
+                needed = set(env.last_failed_pages)
+            with self._lock:
+                self._dry_run.setdefault(rank, set()).update(needed)
+            self._fetch_pages(env, rank, needed, trace)
+            world.network.barrier()
+            trace.collectives += 1
+            return False
+
+        # Every rank can finish the step: swap buffers (unless warm-up) …
+        result = jp.proceed()
+        world.network.barrier()
+        trace.collectives += 1
+        # … then use the Dry-run record to prefetch, with the owners' new
+        # data, every page this rank is known to need for the next step.
+        env.invalidate_buffer_only()
+        with self._lock:
+            prefetch = set(self._dry_run.get(rank, ()))
+        self._fetch_pages(env, rank, prefetch, trace)
+        return result
+
+    # ------------------------------------------------------------------
+    def _fetch_pages(self, env, rank: int, keys: Set[PageKey], trace) -> None:
+        """Pull each page in ``keys`` from its owning rank into the local Env."""
+        world = self.world
+        assert world is not None
+        for key in sorted(keys):
+            block = env.block(key.block_id)
+            logical_key = getattr(block, "logical_key", None)
+            if logical_key is None:
+                continue
+            data = world.fetch_page_by_logical(rank, logical_key, key.page_index)
+            env.page_install(key, data)
+            trace.pages_fetched += 1
+            trace.bytes_fetched += int(data.nbytes)
+            trace.messages += 2
+
+    # ------------------------------------------------------------------
+    def on_detach(self, platform) -> None:
+        super().on_detach(platform)
+        self.world = None
+        self._dry_run = {}

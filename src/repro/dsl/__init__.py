@@ -1,0 +1,24 @@
+"""DSL Part: sample DSL processing systems built on the platform.
+
+Three DSLs matching the paper's prototype (§IV-B):
+
+* :class:`SGrid2DTarget` — 2-D structured grid;
+* :class:`USGrid2DTarget` — 2-D unstructured grid (CaseC / CaseR layouts);
+* :class:`ParticleTarget` — bucketed particle method (one z layer).
+"""
+
+from .base import BlockKernel, BlockSpec, DslTarget
+from .particle import PARTICLE_FIELDS, BucketView, ParticleTarget
+from .sgrid import SGrid2DTarget
+from .usgrid import USGrid2DTarget
+
+__all__ = [
+    "DslTarget",
+    "BlockKernel",
+    "BlockSpec",
+    "SGrid2DTarget",
+    "USGrid2DTarget",
+    "ParticleTarget",
+    "BucketView",
+    "PARTICLE_FIELDS",
+]

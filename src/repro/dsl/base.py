@@ -1,0 +1,240 @@
+"""Shared machinery for DSL processing systems (the paper's "DSL Part").
+
+A DSL processing system on the platform consists of an "Annotation
+Library for Target Apps" and a "Memory Library for Target Apps"
+(§III-B8): it defines the Block/Env structure for its application
+class, how application coordinates map to Blocks, and the sugar the
+end-user kernels use.  The three sample DSLs of the paper (structured
+grid, unstructured grid, particle method) share a fair amount of that
+machinery, collected here:
+
+* :class:`DslTarget` — the base class DSL targets inherit (itself a
+  :class:`~repro.annotation.target.TargetApplication`), providing the
+  Z-order task assignment (paper §IV-C) and per-rank Block
+  materialisation (Data Block locally, Buffer-only Block for remote
+  owners — paper Fig. 2b/2c);
+* :class:`BlockKernel` — the equivalent of Listing 1's
+  ``InitKernelMacros`` / ``GetD`` / ``GetDD`` / ``SetD`` macros.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..annotation.target import TargetApplication
+from ..memory.block import BufferOnlyBlock, DataBlock
+from ..memory.env import Env
+from ..memory.zorder import morton_encode
+from ..runtime.task import current_task
+from ..runtime.tracing import global_trace
+
+__all__ = ["DslTarget", "BlockKernel", "BlockSpec"]
+
+
+class BlockSpec:
+    """Static description of one Block the DSL wants to materialise."""
+
+    __slots__ = ("origin", "shape", "logical_key", "grid_coords")
+
+    def __init__(
+        self,
+        origin: Sequence[int],
+        shape: Sequence[int],
+        logical_key: Any,
+        grid_coords: Sequence[int],
+    ) -> None:
+        self.origin = tuple(int(c) for c in origin)
+        self.shape = tuple(int(c) for c in shape)
+        self.logical_key = logical_key
+        #: Coordinates of the block in units of blocks; the Z-order index
+        #: of these coordinates drives the task assignment.
+        self.grid_coords = tuple(int(c) for c in grid_coords)
+
+    def zorder(self) -> int:
+        return morton_encode(tuple(max(c, 0) for c in self.grid_coords))
+
+
+class BlockKernel:
+    """Per-Block accessor used inside kernels (GetD / GetDD / SetD).
+
+    ``get(local, inside)`` mirrors the paper's ``GetD(LA_t{{...}}, cond)``:
+    ``inside`` is the statically/dynamically supplied flag meaning "the
+    address is certainly within this Block", letting the platform skip
+    the Env search.  ``get_direct`` mirrors ``GetDD`` (always skip), and
+    ``set`` mirrors ``SetD`` (write into the Block's write buffer).
+
+    ``work_per_set`` is the amount of work (in units of the reference
+    grid-point update the cost model is calibrated on) one ``set``
+    represents; grid DSLs use 1, the particle DSL uses the per-bucket
+    pair-interaction count so the cost model sees the true compute load.
+    """
+
+    __slots__ = ("env", "block", "origin", "_trace", "_work")
+
+    def __init__(self, env: Env, block: DataBlock, *, work_per_set: int = 1) -> None:
+        self.env = env
+        self.block = block
+        self.origin = block.origin
+        self._trace = global_trace().for_task()
+        self._work = max(int(work_per_set), 1)
+
+    # ------------------------------------------------------------------
+    def get(self, local: Sequence[int], inside: bool = False):
+        """Read the element at block-relative coordinates ``local``."""
+        addr = tuple(o + l for o, l in zip(self.origin, local))
+        return self.env.read_from(self.block, addr, assume_inside=bool(inside))
+
+    def get_global(self, addr: Sequence[int], inside: bool = False):
+        """Read the element at a *global* address (unstructured-grid neighbours)."""
+        return self.env.read_from(self.block, tuple(addr), assume_inside=bool(inside))
+
+    def get_direct(self, local: Sequence[int]):
+        """Read skipping the Env search entirely (the paper's ``GetDD``)."""
+        addr = tuple(o + l for o, l in zip(self.origin, local))
+        return self.env.read_from(self.block, addr, assume_inside=True)
+
+    def set(self, local: Sequence[int], value) -> None:
+        """Write the element at block-relative coordinates ``local``."""
+        self.block.write_local(tuple(local), value)
+        self._trace.updates += self._work
+
+    def set_global(self, addr: Sequence[int], value) -> None:
+        self.block.write(tuple(addr), value)
+        self._trace.updates += self._work
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.block.shape
+
+    def static_field(self, name: str) -> np.ndarray:
+        """Access a static per-element side array registered by the DSL."""
+        return self.block.static_fields[name]
+
+
+class DslTarget(TargetApplication):
+    """Base class for DSL processing-system targets.
+
+    Subclasses (SGrid2D, USGrid2D, Particle) implement
+    :meth:`build_env` and whatever accessors their application class
+    needs; this base provides the task assignment and the Block
+    materialisation that every DSL shares.
+    """
+
+    #: Qualitative access pattern reported to the cost model
+    #: ('contiguous' | 'random' | 'bucketed').
+    ACCESS_PATTERN = "contiguous"
+    #: Approximate bytes touched per element update (cost-model contention term).
+    BYTES_PER_UPDATE = 40
+    #: Work (in reference grid-point-update units) that one kernel ``set``
+    #: represents.  Grid DSLs leave it at 1; the particle DSL raises it to
+    #: the per-bucket pair-interaction count.
+    WORK_PER_UPDATE = 1
+
+    def __init__(self, config: Optional[dict] = None) -> None:
+        super().__init__(config)
+        self.loops: int = int(self.config.get("loops", 4))
+
+    # ------------------------------------------------------------------
+    # task assignment (paper §IV-C: Z-order done in the DSL layer)
+    # ------------------------------------------------------------------
+    def assign_tasks(self, specs: List[BlockSpec]) -> List[Tuple[BlockSpec, int]]:
+        """Assign each Block spec to a task using the Z-order curve.
+
+        Blocks are sorted by the Morton index of their block-grid
+        coordinates and dealt out in contiguous runs, so neighbouring
+        Blocks tend to share a task (spatial locality across the
+        partition).  Returns ``(spec, task_id)`` pairs in Z-order.
+        """
+        total = max(self.total_tasks, 1)
+        ordered = sorted(specs, key=BlockSpec.zorder)
+        per_task = math.ceil(len(ordered) / total)
+        assignment: List[Tuple[BlockSpec, int]] = []
+        for position, spec in enumerate(ordered):
+            task_id = min(position // per_task, total - 1) if per_task else 0
+            assignment.append((spec, task_id))
+        return assignment
+
+    def omp_threads(self) -> int:
+        if self.platform is None:
+            return 1
+        return max(self.platform.parallelism_of("omp"), 1)
+
+    # ------------------------------------------------------------------
+    # per-rank Block materialisation (paper Fig. 2b/2c)
+    # ------------------------------------------------------------------
+    def materialize_blocks(
+        self,
+        env: Env,
+        specs: List[BlockSpec],
+        *,
+        components: int,
+        page_elements: int,
+        dtype=np.float64,
+    ) -> List[DataBlock]:
+        """Create this rank's view of every Block and attach it to ``env``.
+
+        Blocks assigned to the current rank become Data Blocks; Blocks
+        owned by other ranks become Buffer-only Blocks (storage for
+        pages fetched on demand, initially invalid).  In shared-memory
+        or serial runs every Block is a Data Block.
+        """
+        task = current_task()
+        my_rank = task.mpi_rank
+        omp = self.omp_threads()
+        created: List[DataBlock] = []
+        for spec, task_id in self.assign_tasks(specs):
+            owner_rank = task_id // omp
+            master_tid = owner_rank * omp
+            if owner_rank == my_rank or task.mpi_size == 1:
+                block = DataBlock(
+                    spec.origin,
+                    spec.shape,
+                    components=components,
+                    page_elements=page_elements,
+                    allocator=env.allocator,
+                    dtype=dtype,
+                    name=f"data{spec.logical_key}",
+                )
+            else:
+                block = BufferOnlyBlock(
+                    spec.origin,
+                    spec.shape,
+                    components=components,
+                    page_elements=page_elements,
+                    allocator=env.allocator,
+                    dtype=dtype,
+                    owner_tid=owner_rank,
+                    name=f"remote{spec.logical_key}",
+                )
+            block.logical_key = spec.logical_key
+            block.dm_tid = master_tid
+            block.ch_tid = task_id
+            env.add_data_block(block)
+            created.append(block)
+        return created
+
+    # ------------------------------------------------------------------
+    def register_access_profile(self) -> None:
+        """Record the workload's qualitative access profile for the cost model."""
+        counters = global_trace().for_task()
+        counters.access_pattern = self.ACCESS_PATTERN
+        counters.bytes_per_update = self.BYTES_PER_UPDATE
+
+    # ------------------------------------------------------------------
+    def build_env(self) -> Env:  # pragma: no cover - abstract
+        """Build and return this target's Env (implemented by each DSL)."""
+        raise NotImplementedError
+
+    def initialize(self) -> None:
+        """Default initialise: build the Env and record the access profile."""
+        self.register_access_profile()
+        self.build_env()
+
+    def kernel_for(self, block: DataBlock) -> BlockKernel:
+        """Return the kernel accessor for ``block`` (Listing 1's InitKernelMacros)."""
+        assert self.env is not None, "initialize() must build the Env first"
+        return BlockKernel(self.env, block, work_per_set=self.WORK_PER_UPDATE)

@@ -1,0 +1,379 @@
+"""The Env: a tree of Blocks representing the whole data domain.
+
+"The global structure of the target data is represented by a tree
+structure of Blocks (Env)." (§III-B3)  The default tree shape follows
+the paper's Fig. 2: an Empty root whose children are (a) the boundary
+blocks (Arithmetic / Reference / Static) and (b) an Empty *joint* whose
+children are the Data Blocks.  The joint keeps boundary blocks on a
+different branch so that the locality-prioritising search hits them
+last; DSL developers may insert further joints to increase locality.
+
+The Env implements the Memory Library's Block-based interface
+(§III-B6):
+
+* :meth:`Env.get_blocks` — Blocks whose ``ch_tid`` is the caller's task
+  (the aspect modules advise this join point to split Blocks across the
+  tasks of their layer — AspectType II);
+* :meth:`Env.refresh` — tries to finish the step: fails if any access to
+  non-existent data happened, otherwise swaps the multi-buffers
+  (AspectType III advises this join point to move pages between tasks);
+* :meth:`Env.read_from` / :meth:`Env.write_from` — Global/Local address
+  access starting from a Block, with the optional "surely inside" flag
+  and MMAT support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..aop.registry import TAG_GET_BLOCKS, TAG_REFRESH, annotate
+from .address import GlobalAddress, to_local
+from .block import (
+    ArithmeticBlock,
+    Block,
+    BufferOnlyBlock,
+    DataBlock,
+    EmptyBlock,
+    ReferenceBlock,
+    StaticDataBlock,
+)
+from .errors import AddressError, EnvError
+from .mmat import MMAT
+from .page import PageKey
+from .pool import MemoryPool, PoolGroup
+
+__all__ = ["Env", "EnvStats"]
+
+
+@dataclass
+class EnvStats:
+    """Counters describing how the Env was exercised.
+
+    These feed three places: the MMAT effectiveness numbers in the
+    Fig. 6 bench, the communication volumes used by the cost model for
+    the scaling figures, and the working-memory estimate of Fig. 12.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    in_block_reads: int = 0
+    out_of_block_reads: int = 0
+    searches: int = 0
+    search_steps: int = 0
+    mmat_hits: int = 0
+    missing_recorded: int = 0
+    refreshes: int = 0
+    failed_refreshes: int = 0
+    buffer_swaps: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def merged_with(self, other: "EnvStats") -> "EnvStats":
+        merged = EnvStats()
+        for key in self.__dict__:
+            setattr(merged, key, getattr(self, key) + getattr(other, key))
+        return merged
+
+
+class Env:
+    """Tree of Blocks plus the Memory Library's Block-based interface."""
+
+    def __init__(
+        self,
+        *,
+        allocator: Optional[PoolGroup] = None,
+        pool_bytes: int = 64 * 1024 * 1024,
+        mmat_enabled: bool = False,
+        name: str = "env",
+    ) -> None:
+        if allocator is None:
+            allocator = PoolGroup([MemoryPool(pool_bytes, name=f"{name}.pool")])
+        self.allocator = allocator
+        self.name = name
+        self.root = EmptyBlock(name=f"{name}.root")
+        #: Joint under which all Data Blocks live (paper Fig. 2, node 3).
+        self.data_joint = EmptyBlock(name=f"{name}.joint")
+        self.root.add_child(self.data_joint)
+        self.boundary_blocks: List[Block] = []
+        self.blocks_by_id: Dict[int, Block] = {
+            self.root.block_id: self.root,
+            self.data_joint.block_id: self.data_joint,
+        }
+        self.stats = EnvStats()
+        self.mmat = MMAT(enabled=mmat_enabled)
+        #: Pages found missing (non-existent / not-yet-valid) since the
+        #: last refresh.  AspectType III advice consumes this list.
+        self.missing_pages: Set[PageKey] = set()
+        #: Missing pages of the refresh that most recently failed; kept so
+        #: the communication advice (and the Dry-run record) can see them
+        #: after ``refresh`` already returned False.
+        self.last_failed_pages: Set[PageKey] = set()
+        #: The step counter advanced by successful, non-warm-up refreshes.
+        self.step = 0
+
+    # ------------------------------------------------------------------
+    # tree construction (used by DSL layers)
+    # ------------------------------------------------------------------
+    def _register(self, block: Block) -> Block:
+        self.blocks_by_id[block.block_id] = block
+        if isinstance(block, ReferenceBlock):
+            block.env = self
+        return block
+
+    def add_data_block(self, block: DataBlock, *, parent: Optional[Block] = None) -> DataBlock:
+        """Attach a Data (or Buffer-only) Block under the data joint."""
+        if not isinstance(block, DataBlock):
+            raise EnvError("add_data_block expects a DataBlock (or subclass)")
+        (parent or self.data_joint).add_child(block)
+        return self._register(block)
+
+    def add_boundary_block(self, block: Block) -> Block:
+        """Attach a boundary block directly under the root (paper Fig. 2, node 2)."""
+        if isinstance(block, DataBlock):
+            raise EnvError("boundary blocks must be virtual blocks, not DataBlocks")
+        self.root.add_child(block)
+        self.boundary_blocks.append(block)
+        return self._register(block)
+
+    def add_joint(self, *, parent: Optional[Block] = None, name: str = "") -> EmptyBlock:
+        """Insert an extra Empty joint (DSL developers use this to add locality)."""
+        joint = EmptyBlock(name=name or f"{self.name}.joint{len(self.blocks_by_id)}")
+        (parent or self.data_joint).add_child(joint)
+        self._register(joint)
+        return joint
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def data_blocks(self, *, include_buffer_only: bool = False) -> List[DataBlock]:
+        """All Data Blocks in Z-order-friendly tree order."""
+        blocks = [
+            b
+            for b in self.data_joint.iter_subtree()
+            if isinstance(b, DataBlock)
+            and (include_buffer_only or not isinstance(b, BufferOnlyBlock))
+        ]
+        return blocks
+
+    def block(self, block_id: int) -> Block:
+        try:
+            return self.blocks_by_id[block_id]
+        except KeyError:
+            raise EnvError(f"unknown block id {block_id}") from None
+
+    def owned_blocks(self, task_id: int) -> List[DataBlock]:
+        """Data Blocks whose calc-handle task id equals ``task_id``."""
+        return [b for b in self.data_blocks() if b.ch_tid == task_id]
+
+    # ------------------------------------------------------------------
+    # Block-based interface — the join points advised by aspect modules
+    # ------------------------------------------------------------------
+    @annotate(TAG_GET_BLOCKS)
+    def get_blocks(self, warmup: bool = False) -> List[DataBlock]:
+        """Return the Blocks this task must update this step.
+
+        Without any aspect woven (serial execution) this is simply every
+        Data Block of the Env.  The shared-memory / distributed-memory
+        aspect modules advise this join point to return only the caller
+        task's share (AspectType II).
+        """
+        return self.data_blocks()
+
+    @annotate(TAG_REFRESH)
+    def refresh(self, warmup: bool = False) -> bool:
+        """Attempt to complete the current step.
+
+        Returns True (and swaps every local Data Block's buffers) only
+        when no access to non-existent data occurred since the previous
+        refresh; otherwise records the failed pages in
+        :attr:`last_failed_pages` and returns False so the caller
+        re-executes the step (§III-B9).
+
+        During warm-up (``warmup=True``) buffers are *not* swapped: the
+        warm-up pass only gathers communication information and its
+        numerical results are discarded.
+        """
+        self.stats.refreshes += 1
+        if self.missing_pages:
+            self.last_failed_pages = set(self.missing_pages)
+            self.missing_pages.clear()
+            self.stats.failed_refreshes += 1
+            return False
+        self.last_failed_pages = set()
+        if not warmup:
+            for block in self.data_blocks():
+                block.refresh_swap()
+                self.stats.buffer_swaps += 1
+            self.step += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def read_from(
+        self,
+        start: Block,
+        addr: Sequence[int],
+        *,
+        assume_inside: bool = False,
+    ):
+        """Read the element at global address ``addr`` starting the search at ``start``.
+
+        ``assume_inside=True`` is the paper's static/dynamic flag meaning
+        "the data is undoubtedly contained in the start Block": the Env
+        search is skipped entirely.
+        """
+        self.stats.reads += 1
+        if assume_inside:
+            self.stats.in_block_reads += 1
+            return start.read(addr)
+
+        relative = tuple(a - o for a, o in zip(addr, start.origin))
+        memo_block = self.mmat.lookup(start.block_id, relative)
+        if memo_block is not None:
+            self.stats.mmat_hits += 1
+            return self._read_resolved(memo_block, addr)
+
+        if start.holds_data and start.contains(addr):
+            self.stats.in_block_reads += 1
+            self.mmat.remember(start.block_id, relative, start)
+            return start.read(addr)
+
+        self.stats.out_of_block_reads += 1
+        target = self.find_block(addr, start=start)
+        if target is None:
+            raise AddressError(
+                f"no block of Env {self.name!r} contains address {tuple(addr)}"
+            )
+        self.mmat.remember(start.block_id, relative, target)
+        return self._read_resolved(target, addr)
+
+    def _read_resolved(self, block: Block, addr: Sequence[int]):
+        """Read from an already-resolved block, handling not-yet-valid buffers."""
+        if isinstance(block, BufferOnlyBlock):
+            index = block.element_index(addr)
+            buf = block.buffer.read_buffer
+            page = buf.pages[buf.page_of(index)]
+            if not (block.is_valid or page.valid):
+                key = PageKey(block.block_id, page.index)
+                self.missing_pages.add(key)
+                self.stats.missing_recorded += 1
+                # The step's results will be discarded (refresh fails), so a
+                # placeholder value is acceptable here.
+                return 0.0 if block.components == 1 else np.zeros(block.components)
+        return block.read(addr)
+
+    def write_from(self, start: Block, addr: Sequence[int], value) -> None:
+        """Write ``value`` at global address ``addr``; out-of-block writes search the Env."""
+        self.stats.writes += 1
+        if start.contains(addr):
+            start.write(addr, value)
+            return
+        target = self.find_block(addr, start=start)
+        if target is None:
+            raise AddressError(
+                f"no block of Env {self.name!r} contains address {tuple(addr)} for writing"
+            )
+        target.write(addr, value)
+
+    def read(self, addr: Sequence[int]):
+        """Read starting the search at the root (used by Reference blocks)."""
+        target = self.find_block(addr, start=self.root)
+        if target is None:
+            raise AddressError(f"no block of Env {self.name!r} contains address {tuple(addr)}")
+        return self._read_resolved(target, addr)
+
+    # ------------------------------------------------------------------
+    # Env search
+    # ------------------------------------------------------------------
+    def find_block(self, addr: Sequence[int], *, start: Optional[Block] = None) -> Optional[Block]:
+        """Locality-prioritising search for the Block containing ``addr``.
+
+        Starting from ``start`` the search first explores the node
+        itself, then its descendants, then (moving upward one level at a
+        time) the untried subtrees of each ancestor.  Because boundary
+        blocks hang off the root on a separate branch, they are examined
+        last — exactly the ordering rationale of the paper's Fig. 2.
+        """
+        self.stats.searches += 1
+        node = start if start is not None else self.root
+        visited: Set[int] = set()
+        while node is not None:
+            found = self._search_down(node, addr, visited)
+            if found is not None:
+                return found
+            node = node.parent
+        return None
+
+    def _search_down(self, node: Block, addr: Sequence[int], visited: Set[int]) -> Optional[Block]:
+        if node.block_id in visited:
+            return None
+        visited.add(node.block_id)
+        self.stats.search_steps += 1
+        if node.holds_data and node.contains(addr):
+            return node
+        for child in node.children:
+            found = self._search_down(child, addr, visited)
+            if found is not None:
+                return found
+        return None
+
+    # ------------------------------------------------------------------
+    # page-based interface (used by aspect modules / the simulated network)
+    # ------------------------------------------------------------------
+    def page_snapshot(self, key: PageKey) -> np.ndarray:
+        block = self.block(key.block_id)
+        if not isinstance(block, DataBlock):
+            raise EnvError(f"page snapshot requested from non-data block {block.name!r}")
+        return block.page_snapshot(key.page_index)
+
+    def page_install(self, key: PageKey, data: np.ndarray) -> None:
+        block = self.block(key.block_id)
+        if not isinstance(block, DataBlock):
+            raise EnvError(f"page install requested on non-data block {block.name!r}")
+        block.page_fill(key.page_index, data)
+
+    def invalidate_buffer_only(self) -> None:
+        """Mark every Buffer-only Block stale (done at each step boundary)."""
+        for block in self.data_blocks(include_buffer_only=True):
+            if isinstance(block, BufferOnlyBlock):
+                block.invalidate()
+
+    # ------------------------------------------------------------------
+    # accounting (Fig. 12)
+    # ------------------------------------------------------------------
+    def data_bytes(self) -> int:
+        """Bytes of pool memory held by block buffers."""
+        return sum(b.nbytes for b in self.data_blocks(include_buffer_only=True))
+
+    def structure_bytes(self) -> int:
+        """Rough footprint of the Env structure itself (tree + MMAT memo)."""
+        import sys
+
+        total = 0
+        for block in self.blocks_by_id.values():
+            total += sys.getsizeof(block)
+            total += sys.getsizeof(block.children)
+        total += self.mmat.memory_bytes()
+        return total
+
+    def memory_report(self) -> dict:
+        """Decomposition used by the Fig. 12 benchmark."""
+        pool_stats = self.allocator.stats() if isinstance(self.allocator, PoolGroup) else {}
+        return {
+            "pool_capacity": self.allocator.capacity_bytes,
+            "pool_used": self.allocator.used_bytes,
+            "pool_unused": self.allocator.free_bytes,
+            "env_structure": self.structure_bytes(),
+            "pools": {name: stats.__dict__ for name, stats in pool_stats.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Env(name={self.name!r}, data_blocks={len(self.data_blocks())}, "
+            f"boundaries={len(self.boundary_blocks)}, step={self.step})"
+        )

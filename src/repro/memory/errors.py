@@ -1,0 +1,27 @@
+"""Exception hierarchy for the memory library."""
+
+from __future__ import annotations
+
+
+class MemoryError_(Exception):
+    """Base class for memory-library errors (named to avoid shadowing builtins)."""
+
+
+class PoolExhaustedError(MemoryError_):
+    """The memory pool could not satisfy an allocation request."""
+
+
+class PoolCorruptionError(MemoryError_):
+    """Internal free-list invariants were violated (double free, bad chunk)."""
+
+
+class AddressError(MemoryError_):
+    """An address is malformed or outside every block of the Env."""
+
+
+class BlockError(MemoryError_):
+    """A Block was used in a way its kind does not support."""
+
+
+class EnvError(MemoryError_):
+    """The Env tree is malformed or an operation on it is invalid."""

@@ -1,0 +1,122 @@
+"""Pages: the granularity at which the platform manages and moves data.
+
+The Memory Library exposes two interfaces (§III-B6):
+
+* the **Block-based interface** used by end-user kernels (Global/Local
+  address get/set), and
+* the **Page-based interface** used by the aspect modules to manage
+  validity/dirtiness and to communicate data between tasks
+  page-by-page rather than block-by-block.
+
+A :class:`Page` owns one chunk from a memory pool holding a fixed
+number of *elements* (an element being whatever the DSL defines: one
+grid point value, one unstructured cell record, one particle bucket).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .errors import BlockError
+from .pool import Chunk, PoolGroup
+
+__all__ = ["Page", "PageKey"]
+
+
+class PageKey(tuple):
+    """Hashable identifier of a page: ``(block_id, buffer_index, page_index)``.
+
+    Aspect modules exchange :class:`PageKey` lists when negotiating
+    which pages to transfer (the "list of non-existent pages" in
+    AspectType III).
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, block_id: int, page_index: int) -> "PageKey":
+        return super().__new__(cls, (int(block_id), int(page_index)))
+
+    @property
+    def block_id(self) -> int:
+        return self[0]
+
+    @property
+    def page_index(self) -> int:
+        return self[1]
+
+    def __repr__(self) -> str:
+        return f"PageKey(block={self[0]}, page={self[1]})"
+
+
+class Page:
+    """A fixed-size run of elements backed by one memory-pool chunk."""
+
+    __slots__ = ("index", "elements", "components", "dtype", "chunk", "_view", "valid", "dirty")
+
+    def __init__(
+        self,
+        index: int,
+        elements: int,
+        components: int,
+        dtype,
+        allocator: PoolGroup,
+    ) -> None:
+        if elements <= 0 or components <= 0:
+            raise BlockError("page must hold a positive number of elements/components")
+        self.index = int(index)
+        self.elements = int(elements)
+        self.components = int(components)
+        self.dtype = np.dtype(dtype)
+        nbytes = self.elements * self.components * self.dtype.itemsize
+        self.chunk: Chunk = allocator.allocate(nbytes)
+        view = self.chunk.as_array(self.dtype, self.elements * self.components)
+        self._view = view.reshape(self.elements, self.components)
+        #: Whether the page currently holds meaningful data (Buffer-only
+        #: Blocks start with every page invalid until communication fills it).
+        self.valid: bool = True
+        #: Whether the page has been written since the last buffer swap;
+        #: aspect modules only transfer dirty pages.
+        self.dirty: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The ``(elements, components)`` numpy view over the page's chunk."""
+        return self._view
+
+    @property
+    def nbytes(self) -> int:
+        return self.chunk.size
+
+    def read(self, slot: int) -> np.ndarray:
+        """Return the component vector of element ``slot`` (no copy)."""
+        return self._view[slot]
+
+    def write(self, slot: int, value) -> None:
+        """Store ``value`` into element ``slot`` and mark the page dirty."""
+        self._view[slot] = value
+        self.dirty = True
+
+    def fill_from(self, data: np.ndarray, *, valid: bool = True) -> None:
+        """Overwrite the whole page (used by the communication advice)."""
+        data = np.asarray(data, dtype=self.dtype).reshape(self.elements, self.components)
+        self._view[...] = data
+        self.valid = valid
+        self.dirty = False
+
+    def snapshot(self) -> np.ndarray:
+        """Return a copy of the page contents (what gets sent over the network)."""
+        return self._view.copy()
+
+    def release(self) -> None:
+        """Return the backing chunk to its pool."""
+        if not self.chunk.freed:
+            self.chunk.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Page(index={self.index}, elements={self.elements}, "
+            f"valid={self.valid}, dirty={self.dirty})"
+        )

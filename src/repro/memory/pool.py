@@ -1,0 +1,271 @@
+"""Fixed-size memory pools and chunks.
+
+The platform "allocates a fixed-size memory (Memory Pool), and the data
+for the computation domain is placed on it" (§III-B6).  Buffers of Data
+Blocks are built from *chunks* obtained from one or more pools, which
+lets the same interface cover non-uniform memory layers or
+memory-mapped files.
+
+This Python port backs every pool with a single ``numpy`` byte array
+and hands out :class:`Chunk` views into it.  A simple first-fit free
+list with coalescing keeps the implementation understandable while
+still exhibiting the behaviour that matters for the paper's Fig. 12
+(memory-usage accounting split into *unused pool*, *used pool* and
+*working memory*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import PoolCorruptionError, PoolExhaustedError
+
+__all__ = ["Chunk", "MemoryPool", "PoolGroup", "PoolStats"]
+
+_ALIGNMENT = 8
+
+
+def _align_up(value: int, alignment: int = _ALIGNMENT) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Snapshot of a pool's occupancy (consumed by the Fig. 12 bench)."""
+
+    capacity_bytes: int
+    used_bytes: int
+    free_bytes: int
+    peak_bytes: int
+    allocations: int
+    frees: int
+
+    @property
+    def utilisation(self) -> float:
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.capacity_bytes
+
+
+class Chunk:
+    """A contiguous byte range inside a :class:`MemoryPool`."""
+
+    __slots__ = ("pool", "offset", "size", "_freed")
+
+    def __init__(self, pool: "MemoryPool", offset: int, size: int) -> None:
+        self.pool = pool
+        self.offset = offset
+        self.size = size
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def as_array(self, dtype=np.float64, count: Optional[int] = None) -> np.ndarray:
+        """Return a numpy view of the chunk's bytes with the given dtype."""
+        if self._freed:
+            raise PoolCorruptionError("cannot view a freed chunk")
+        itemsize = np.dtype(dtype).itemsize
+        max_count = self.size // itemsize
+        if count is None:
+            count = max_count
+        if count > max_count:
+            raise PoolCorruptionError(
+                f"requested {count} items of {dtype} but chunk holds only {max_count}"
+            )
+        start = self.offset
+        return self.pool._backing[start : start + count * itemsize].view(dtype)
+
+    def free(self) -> None:
+        """Return the chunk to its pool."""
+        self.pool.free(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Chunk(pool={self.pool.name!r}, offset={self.offset}, size={self.size})"
+
+
+class MemoryPool:
+    """Fixed-capacity allocator handing out :class:`Chunk` objects.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total pool size; never grows (matching the paper's fixed-size
+        Memory Pool whose unused remainder shows up in Fig. 12).
+    name:
+        Label used in memory reports (e.g. ``"node0"``, ``"mmap"``).
+    """
+
+    def __init__(self, capacity_bytes: int, *, name: str = "pool") -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self._backing = np.zeros(self.capacity_bytes, dtype=np.uint8)
+        # Free list of (offset, size), kept sorted by offset and coalesced.
+        self._free_list: List[Tuple[int, int]] = [(0, self.capacity_bytes)]
+        self._live_chunks: Dict[int, Chunk] = {}
+        self._used_bytes = 0
+        self._peak_bytes = 0
+        self._allocations = 0
+        self._frees = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak_bytes
+
+    def stats(self) -> PoolStats:
+        """Return an occupancy snapshot."""
+        return PoolStats(
+            capacity_bytes=self.capacity_bytes,
+            used_bytes=self._used_bytes,
+            free_bytes=self.free_bytes,
+            peak_bytes=self._peak_bytes,
+            allocations=self._allocations,
+            frees=self._frees,
+        )
+
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int) -> Chunk:
+        """Allocate ``nbytes`` (rounded up to the pool alignment).
+
+        Raises :class:`PoolExhaustedError` when no free range is large
+        enough — the platform treats this as a configuration error (the
+        DSL declared a pool too small for the Env it builds).
+        """
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        size = _align_up(int(nbytes))
+        for index, (offset, free_size) in enumerate(self._free_list):
+            if free_size >= size:
+                remaining = free_size - size
+                if remaining:
+                    self._free_list[index] = (offset + size, remaining)
+                else:
+                    del self._free_list[index]
+                chunk = Chunk(self, offset, size)
+                self._live_chunks[offset] = chunk
+                self._used_bytes += size
+                self._peak_bytes = max(self._peak_bytes, self._used_bytes)
+                self._allocations += 1
+                return chunk
+        raise PoolExhaustedError(
+            f"pool {self.name!r} cannot allocate {size} bytes "
+            f"(free={self.free_bytes}, capacity={self.capacity_bytes})"
+        )
+
+    def free(self, chunk: Chunk) -> None:
+        """Return ``chunk`` to the free list (coalescing neighbours)."""
+        if chunk.pool is not self:
+            raise PoolCorruptionError("chunk does not belong to this pool")
+        if chunk.freed:
+            raise PoolCorruptionError("double free detected")
+        if self._live_chunks.get(chunk.offset) is not chunk:
+            raise PoolCorruptionError("unknown chunk (corrupted offset?)")
+        del self._live_chunks[chunk.offset]
+        chunk._freed = True
+        self._used_bytes -= chunk.size
+        self._frees += 1
+        self._insert_free_range(chunk.offset, chunk.size)
+
+    def _insert_free_range(self, offset: int, size: int) -> None:
+        entries = self._free_list
+        lo = 0
+        while lo < len(entries) and entries[lo][0] < offset:
+            lo += 1
+        entries.insert(lo, (offset, size))
+        # Coalesce with the next entry, then with the previous one.
+        if lo + 1 < len(entries):
+            next_offset, next_size = entries[lo + 1]
+            if offset + size == next_offset:
+                entries[lo] = (offset, size + next_size)
+                del entries[lo + 1]
+        if lo > 0:
+            prev_offset, prev_size = entries[lo - 1]
+            cur_offset, cur_size = entries[lo]
+            if prev_offset + prev_size == cur_offset:
+                entries[lo - 1] = (prev_offset, prev_size + cur_size)
+                del entries[lo]
+
+    # ------------------------------------------------------------------
+    def live_chunk_count(self) -> int:
+        return len(self._live_chunks)
+
+    def check_invariants(self) -> None:
+        """Validate free-list consistency; used by the property-based tests."""
+        total_free = sum(size for _, size in self._free_list)
+        if total_free != self.free_bytes:
+            raise PoolCorruptionError(
+                f"free list accounts for {total_free} bytes but pool reports {self.free_bytes}"
+            )
+        previous_end = 0
+        for offset, size in self._free_list:
+            if size <= 0:
+                raise PoolCorruptionError("zero/negative sized free range")
+            if offset < previous_end:
+                raise PoolCorruptionError("overlapping or unsorted free ranges")
+            previous_end = offset + size
+        if previous_end > self.capacity_bytes:
+            raise PoolCorruptionError("free range extends past pool capacity")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryPool(name={self.name!r}, capacity={self.capacity_bytes}, "
+            f"used={self._used_bytes})"
+        )
+
+
+class PoolGroup:
+    """An ordered collection of pools used as one allocation source.
+
+    The paper notes that a buffer may "combine memory chunks obtained
+    from multiple pools" so that non-uniform memory layers (HBM + DDR +
+    memory-mapped files) are handled behind one interface.  A
+    :class:`PoolGroup` allocates from the first pool with room,
+    spilling to later pools when earlier ones fill up.
+    """
+
+    def __init__(self, pools: List[MemoryPool]) -> None:
+        if not pools:
+            raise ValueError("PoolGroup requires at least one pool")
+        self.pools = list(pools)
+
+    def allocate(self, nbytes: int) -> Chunk:
+        last_error: Optional[PoolExhaustedError] = None
+        for pool in self.pools:
+            try:
+                return pool.allocate(nbytes)
+            except PoolExhaustedError as exc:
+                last_error = exc
+        raise PoolExhaustedError(
+            f"no pool in group could satisfy {nbytes} bytes: {last_error}"
+        )
+
+    def stats(self) -> Dict[str, PoolStats]:
+        return {pool.name: pool.stats() for pool in self.pools}
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(pool.capacity_bytes for pool in self.pools)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(pool.used_bytes for pool in self.pools)
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(pool.free_bytes for pool in self.pools)

@@ -1,0 +1,54 @@
+"""Runtime substrate: simulated MPI/OpenMP layers, machine model, tracing.
+
+The paper's prototype runs on a real cluster; this package provides the
+simulated equivalents the aspect modules manage (see DESIGN.md §2 for
+the substitution rationale):
+
+* :class:`MPIWorld` / :class:`SimNetwork` — threaded SPMD ranks with an
+  in-memory interconnect that counts messages and bytes;
+* :class:`ThreadTeam` — shared-memory task team with barrier/single;
+* :class:`TaskContext` — hierarchical task ids;
+* :class:`TraceRecorder` — per-task work/traffic counters;
+* :class:`MachineSpec` / :class:`CostModel` — analytic conversion of the
+  counters into modelled wall-clock for the scaling figures.
+"""
+
+from .costmodel import CostBreakdown, CostModel
+from .errors import (
+    CollectiveError,
+    MachineModelError,
+    NetworkError,
+    RuntimeErrorBase,
+    TaskError,
+)
+from .machine import OAKBRIDGE_CX_LIKE, MachineSpec
+from .network import NetworkStats, SimNetwork
+from .simmpi import BlockDirectory, MPIWorld, RankResult
+from .simomp import ThreadTeam
+from .task import SERIAL_TASK, TaskContext, current_task, task_scope
+from .tracing import TaskCounters, TraceRecorder, global_trace
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "MachineSpec",
+    "OAKBRIDGE_CX_LIKE",
+    "NetworkStats",
+    "SimNetwork",
+    "BlockDirectory",
+    "MPIWorld",
+    "RankResult",
+    "ThreadTeam",
+    "TaskContext",
+    "SERIAL_TASK",
+    "current_task",
+    "task_scope",
+    "TaskCounters",
+    "TraceRecorder",
+    "global_trace",
+    "RuntimeErrorBase",
+    "TaskError",
+    "NetworkError",
+    "CollectiveError",
+    "MachineModelError",
+]

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the runtime substrate."""
+
+from __future__ import annotations
+
+
+class RuntimeErrorBase(Exception):
+    """Base class for runtime-substrate errors."""
+
+
+class TaskError(RuntimeErrorBase):
+    """A task context is missing or inconsistent."""
+
+
+class NetworkError(RuntimeErrorBase):
+    """The simulated network was used incorrectly (unknown peer, bad key)."""
+
+
+class CollectiveError(RuntimeErrorBase):
+    """A collective operation was entered inconsistently across tasks."""
+
+
+class MachineModelError(RuntimeErrorBase):
+    """A machine specification or cost-model input is invalid."""

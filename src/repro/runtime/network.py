@@ -1,0 +1,207 @@
+"""The simulated interconnect used by the distributed-memory runtime.
+
+The paper evaluates on an Omni-Path cluster; this repository has a
+single Python process, so the distributed-memory layer runs every rank
+as a thread and moves data through this in-memory network object.  The
+network
+
+* provides point-to-point ``send``/``recv`` mailboxes,
+* provides the collectives the aspect modules need (``barrier``,
+  ``allreduce``), and
+* **counts every message and byte**, because those counts (not Python
+  wall-clock) are what the cost model converts into the modelled
+  communication time of the scaling figures.
+
+Page transfers use a one-sided ``fetch_page`` operation: the requester
+reads a page snapshot directly out of the owner rank's Env (safe,
+because owners never mutate their *read* buffers between the
+synchronisation points established by the refresh protocol) while the
+network records the traffic as a message pair.  This mirrors MPI RMA
+``Get`` and keeps the threaded simulation deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import CollectiveError, NetworkError
+
+__all__ = ["SimNetwork", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters of a simulated network."""
+
+    messages: int = 0
+    bytes_moved: int = 0
+    barriers: int = 0
+    allreduces: int = 0
+    page_fetches: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort size estimate of a message payload."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, bool)) or payload is None:
+        return 8
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 16 + sum(_payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(
+            _payload_nbytes(k) + _payload_nbytes(v) for k, v in payload.items()
+        )
+    return 64
+
+
+class SimNetwork:
+    """In-memory interconnect between the ranks of one simulated MPI world."""
+
+    def __init__(self, size: int, *, timeout: float = 30.0) -> None:
+        if size < 1:
+            raise NetworkError("network size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self.stats = NetworkStats()
+        self._lock = threading.Lock()
+        self._mail_cond = threading.Condition(self._lock)
+        self._mailboxes: Dict[Tuple[int, Any], deque] = defaultdict(deque)
+        # Reusable barrier / allreduce state.
+        self._barrier = threading.Barrier(size)
+        self._allreduce_values: List[Any] = []
+        self._allreduce_result: Any = None
+        self._allreduce_generation = 0
+        self._allreduce_cond = threading.Condition()
+        #: Per-rank endpoints registered by the distributed-memory aspect
+        #: (rank -> object exposing ``page_snapshot(key)``, typically an Env).
+        self._endpoints: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # endpoint registry (used for one-sided page fetches)
+    # ------------------------------------------------------------------
+    def register_endpoint(self, rank: int, endpoint: Any) -> None:
+        self._check_rank(rank)
+        with self._lock:
+            self._endpoints[rank] = endpoint
+
+    def endpoint(self, rank: int) -> Any:
+        with self._lock:
+            try:
+                return self._endpoints[rank]
+            except KeyError:
+                raise NetworkError(f"rank {rank} has no registered endpoint") from None
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, tag: Any, payload: Any) -> None:
+        """Deposit ``payload`` in the (dst, tag) mailbox and count the traffic."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        nbytes = _payload_nbytes(payload)
+        with self._mail_cond:
+            self._mailboxes[(dst, tag)].append((src, payload))
+            self.stats.messages += 1
+            self.stats.bytes_moved += nbytes
+            self._mail_cond.notify_all()
+
+    def recv(self, dst: int, tag: Any, *, src: Optional[int] = None) -> Any:
+        """Blocking receive from the (dst, tag) mailbox (optionally by source)."""
+        self._check_rank(dst)
+        deadline = threading.TIMEOUT_MAX if self.timeout is None else None
+        with self._mail_cond:
+            while True:
+                queue = self._mailboxes.get((dst, tag))
+                if queue:
+                    if src is None:
+                        return queue.popleft()[1]
+                    for index, (sender, payload) in enumerate(queue):
+                        if sender == src:
+                            del queue[index]
+                            return payload
+                if not self._mail_cond.wait(timeout=self.timeout):
+                    raise NetworkError(
+                        f"recv timed out on rank {dst} tag {tag!r} (src={src})"
+                    )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self.stats.barriers += 1
+        if self.size == 1:
+            return
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError as exc:
+            raise CollectiveError("barrier broken (a rank died or timed out)") from exc
+
+    def allreduce(self, value: Any, op: Callable[[List[Any]], Any]) -> Any:
+        """All-to-all reduction: every rank contributes ``value``, all get ``op(values)``."""
+        self.stats.allreduces += 1
+        self.stats.messages += max(self.size - 1, 0) * 2
+        if self.size == 1:
+            return op([value])
+        with self._allreduce_cond:
+            generation = self._allreduce_generation
+            self._allreduce_values.append(value)
+            if len(self._allreduce_values) == self.size:
+                self._allreduce_result = op(list(self._allreduce_values))
+                self._allreduce_values = []
+                self._allreduce_generation += 1
+                self._allreduce_cond.notify_all()
+            else:
+                while self._allreduce_generation == generation:
+                    if not self._allreduce_cond.wait(timeout=self.timeout):
+                        raise CollectiveError("allreduce timed out")
+            return self._allreduce_result
+
+    def allreduce_and(self, flag: bool) -> bool:
+        """Logical-AND allreduce (used to agree on refresh success)."""
+        return bool(self.allreduce(bool(flag), lambda values: all(values)))
+
+    def allreduce_sum(self, value: float) -> float:
+        """Sum allreduce (used by examples for residual norms)."""
+        return float(self.allreduce(float(value), lambda values: sum(values)))
+
+    # ------------------------------------------------------------------
+    # one-sided page access
+    # ------------------------------------------------------------------
+    def fetch_page(self, requester: int, owner: int, block_id: int, page_index: int) -> np.ndarray:
+        """Fetch a page snapshot from ``owner``'s registered Env.
+
+        The traffic is accounted as one request message plus one reply
+        carrying the page payload, matching what a two-sided exchange
+        would cost on a real network.
+        """
+        self._check_rank(requester)
+        self._check_rank(owner)
+        endpoint = self.endpoint(owner)
+        from ..memory.page import PageKey  # local import to avoid a cycle
+
+        data = endpoint.page_snapshot(PageKey(block_id, page_index))
+        with self._lock:
+            self.stats.page_fetches += 1
+            self.stats.messages += 2
+            self.stats.bytes_moved += int(data.nbytes) + 32
+        return data
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise NetworkError(f"rank {rank} outside world of size {self.size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimNetwork(size={self.size}, stats={self.stats.as_dict()})"

@@ -1,0 +1,186 @@
+"""Simulated distributed-memory runtime ("MPI layer").
+
+The distributed-memory aspect module (:mod:`repro.aspects.mpi_aspect`)
+needs a runtime that can
+
+* run the *whole end-user program* once per rank (SPMD), each rank with
+  its own Env replica (paper Fig. 2b/2c),
+* let ranks agree whether a step's ``refresh`` globally succeeded,
+* move pages between ranks, and
+* map "the Block at logical position X" to the concrete Block object of
+  whichever rank owns it.
+
+:class:`MPIWorld` provides all four on top of the in-memory
+:class:`~repro.runtime.network.SimNetwork`.  Each rank executes on its
+own OS thread; the GIL prevents real speed-up, which is irrelevant
+because scaling numbers come from the cost model, not wall-clock
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import NetworkError, TaskError
+from .network import SimNetwork
+from .task import TaskContext, task_scope
+
+__all__ = ["BlockDirectory", "MPIWorld", "RankResult"]
+
+
+class BlockDirectory:
+    """Cross-rank registry: logical block key -> (owner rank, per-rank block ids).
+
+    DSL layers give every Data Block a *logical key* (for the grids this
+    is the block's origin in units of blocks) that is identical on every
+    rank.  The directory lets the communication advice translate a local
+    Buffer-only Block's page into the owning rank's Data Block page.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owner: Dict[Any, int] = {}
+        self._block_ids: Dict[Tuple[Any, int], int] = {}
+
+    def register(self, logical_key: Any, rank: int, block_id: int, *, owner: bool) -> None:
+        """Record that ``rank`` materialised ``logical_key`` as ``block_id``."""
+        with self._lock:
+            self._block_ids[(logical_key, rank)] = block_id
+            if owner:
+                existing = self._owner.get(logical_key)
+                if existing is not None and existing != rank:
+                    raise NetworkError(
+                        f"block {logical_key!r} claimed by ranks {existing} and {rank}"
+                    )
+                self._owner[logical_key] = rank
+
+    def owner_of(self, logical_key: Any) -> int:
+        with self._lock:
+            try:
+                return self._owner[logical_key]
+            except KeyError:
+                raise NetworkError(f"no owner registered for block {logical_key!r}") from None
+
+    def block_id_on(self, logical_key: Any, rank: int) -> int:
+        with self._lock:
+            try:
+                return self._block_ids[(logical_key, rank)]
+            except KeyError:
+                raise NetworkError(
+                    f"block {logical_key!r} not materialised on rank {rank}"
+                ) from None
+
+    def known_blocks(self) -> List[Any]:
+        with self._lock:
+            return list(self._owner)
+
+
+@dataclass
+class RankResult:
+    """Outcome of one rank's SPMD execution."""
+
+    rank: int
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+class MPIWorld:
+    """One simulated MPI world: ranks, network, block directory."""
+
+    def __init__(self, size: int, *, timeout: float = 60.0) -> None:
+        if size < 1:
+            raise TaskError("MPI world size must be >= 1")
+        self.size = size
+        self.network = SimNetwork(size, timeout=timeout)
+        self.directory = BlockDirectory()
+        #: Env registered by each rank (also the network endpoint).
+        self.rank_envs: Dict[int, Any] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def register_env(self, rank: int, env: Any) -> None:
+        """Attach a rank's Env replica as its communication endpoint."""
+        self.rank_envs[rank] = env
+        self.network.register_endpoint(rank, env)
+
+    def env_of(self, rank: int) -> Any:
+        try:
+            return self.rank_envs[rank]
+        except KeyError:
+            raise NetworkError(f"rank {rank} has not registered an Env") from None
+
+    # ------------------------------------------------------------------
+    def fetch_page_by_logical(
+        self, requester: int, logical_key: Any, page_index: int
+    ) -> np.ndarray:
+        """Fetch a page of the Block identified by ``logical_key`` from its owner."""
+        owner = self.directory.owner_of(logical_key)
+        owner_block_id = self.directory.block_id_on(logical_key, owner)
+        return self.network.fetch_page(requester, owner, owner_block_id, page_index)
+
+    # ------------------------------------------------------------------
+    def run_spmd(
+        self,
+        body: Callable[[TaskContext], Any],
+        *,
+        omp_threads: int = 1,
+        use_threads: bool = True,
+    ) -> List[RankResult]:
+        """Execute ``body`` once per rank (SPMD).
+
+        ``body`` receives the rank's :class:`TaskContext`.  With
+        ``use_threads=True`` (default) every rank runs on its own OS
+        thread so that blocking collectives work; a world of size 1
+        runs inline to keep serial runs cheap and easy to debug.
+        """
+        results = [RankResult(rank=r) for r in range(self.size)]
+
+        def rank_main(rank: int) -> None:
+            context = TaskContext(
+                mpi_rank=rank, mpi_size=self.size, omp_thread=0, omp_threads=omp_threads
+            )
+            try:
+                with task_scope(context):
+                    results[rank].value = body(context)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                results[rank].error = exc
+
+        if self.size == 1 or not use_threads:
+            for rank in range(self.size):
+                rank_main(rank)
+        else:
+            threads = [
+                threading.Thread(
+                    target=rank_main, args=(rank,), name=f"sim-mpi-rank-{rank}", daemon=True
+                )
+                for rank in range(self.size)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        errors = [r for r in results if r.error is not None]
+        if errors:
+            first = errors[0]
+            raise RuntimeError(
+                f"{len(errors)} rank(s) failed; first failure on rank {first.rank}"
+            ) from first.error
+        return results
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Tear the world down (idempotent)."""
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def traffic_summary(self) -> dict:
+        """Network counters, consumed by the scaling benchmarks."""
+        return self.network.stats.as_dict()

@@ -1,0 +1,134 @@
+"""Simulated shared-memory runtime ("OpenMP layer").
+
+The shared-memory aspect module needs a *thread team*: a group of tasks
+that share one Env, split the Blocks among themselves each step
+(AspectType II) and synchronise at every ``refresh``.  Because OpenMP
+is a shared-memory system, AspectType III (data communication) is not
+implemented for this layer — exactly as in the paper's prototype.
+
+:class:`ThreadTeam` supplies the two primitives the aspect uses:
+
+* :meth:`ThreadTeam.parallel` — run a callable once per team member,
+  each on its own thread with the right :class:`TaskContext`;
+* :meth:`ThreadTeam.single` — execute a callable on exactly one member
+  per call site while the others wait and receive the same return value
+  (the OpenMP ``single`` construct, used to perform the buffer swap of
+  ``refresh`` exactly once per step).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from .errors import CollectiveError, TaskError
+from .task import TaskContext, current_task, task_scope
+
+__all__ = ["ThreadTeam"]
+
+
+class ThreadTeam:
+    """A shared-memory team of ``size`` tasks."""
+
+    def __init__(self, size: int, *, timeout: float = 60.0) -> None:
+        if size < 1:
+            raise TaskError("thread team size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self._barrier = threading.Barrier(size)
+        self._single_lock = threading.Lock()
+        self._single_generation = 0
+        self._single_result: Any = None
+        self._single_error: Optional[BaseException] = None
+        self._single_done = threading.Condition(self._single_lock)
+        #: Number of barrier entries, reported to the cost model.
+        self.barrier_count = 0
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronise the team (no-op for a team of one)."""
+        self.barrier_count += 1
+        if self.size == 1:
+            return
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError as exc:
+            raise CollectiveError("thread-team barrier broken") from exc
+
+    # ------------------------------------------------------------------
+    def single(self, func: Callable[[], Any]) -> Any:
+        """Run ``func`` on exactly one member; every member gets its result.
+
+        Team members must call :meth:`single` collectively (same number
+        of times in the same order), like OpenMP's ``single`` construct
+        with an implicit barrier before and after.
+        """
+        if self.size == 1:
+            return func()
+        self.barrier()
+        me = current_task().omp_thread
+        if me == 0:
+            try:
+                result = func()
+                error = None
+            except BaseException as exc:  # noqa: BLE001 - re-raised on all members
+                result = None
+                error = exc
+            with self._single_lock:
+                self._single_result = result
+                self._single_error = error
+                self._single_generation += 1
+        self.barrier()
+        with self._single_lock:
+            result = self._single_result
+            error = self._single_error
+        if error is not None:
+            raise error
+        return result
+
+    # ------------------------------------------------------------------
+    def parallel(self, body: Callable[[TaskContext], Any]) -> List[Any]:
+        """Run ``body`` once per team member and return the per-member results.
+
+        The caller's task context supplies the distributed-memory
+        coordinates (rank/size); each member gets a derived context with
+        its ``omp_thread`` set.  A team of one runs inline.
+        """
+        base = current_task()
+        results: List[Any] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def member_main(thread_index: int) -> None:
+            context = base.with_omp(thread_index, self.size)
+            try:
+                with task_scope(context):
+                    results[thread_index] = body(context)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                errors[thread_index] = exc
+                # Break the barrier so sibling members do not hang waiting
+                # for a member that will never arrive.
+                self._barrier.abort()
+
+        if self.size == 1:
+            member_main(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=member_main,
+                    args=(index,),
+                    name=f"sim-omp-thread-{index}",
+                    daemon=True,
+                )
+                for index in range(self.size)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # Reset the barrier for potential reuse after an abort.
+            self._barrier = threading.Barrier(self.size)
+
+        raised = [e for e in errors if e is not None]
+        if raised:
+            raise RuntimeError("a thread-team member failed") from raised[0]
+        return results

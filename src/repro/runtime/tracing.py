@@ -1,0 +1,126 @@
+"""Execution tracing: per-task counters feeding the cost model and reports.
+
+The paper's evaluation relies on measurements of a real cluster.  Our
+substitute collects, for every task of a simulated run, the quantities
+that determine performance on such a cluster:
+
+* how many element updates the task performed,
+* how many pages/bytes it pulled from other tasks (and how many
+  messages that corresponds to),
+* how many Env searches it performed and how often MMAT short-circuited
+  them,
+* how many refresh rounds failed (forcing recomputation).
+
+The :class:`repro.runtime.costmodel.CostModel` converts these counters
+into modelled wall-clock times for the scaling figures, and the
+benchmark harness prints them alongside measured Python wall-clock for
+the single-task overhead figure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .task import TaskContext, current_task
+
+__all__ = ["TaskCounters", "TraceRecorder", "global_trace"]
+
+
+@dataclass
+class TaskCounters:
+    """Counters of one task (one rank/thread pair) during one run."""
+
+    updates: int = 0
+    kernel_invocations: int = 0
+    steps: int = 0
+    recomputed_steps: int = 0
+    pages_fetched: int = 0
+    bytes_fetched: int = 0
+    messages: int = 0
+    collectives: int = 0
+    #: Steady-state ("productive") work and traffic: the deltas accumulated by
+    #: the *successful* attempt of each step only, excluding warm-up passes
+    #: and re-executed failed attempts.  The paper's scaling figures measure
+    #: long runs where warm-up is amortised away, so the cost model prefers
+    #: these when they are non-zero.
+    productive_updates: int = 0
+    productive_pages: int = 0
+    productive_bytes: int = 0
+    productive_messages: int = 0
+    env_reads: int = 0
+    env_searches: int = 0
+    env_search_steps: int = 0
+    mmat_hits: int = 0
+    #: Qualitative access pattern of the workload ('contiguous'|'random'|'bucketed')
+    #: recorded by the DSL layer, consumed by the shared-memory contention model.
+    access_pattern: str = "contiguous"
+    bytes_per_update: int = 40
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class TraceRecorder:
+    """Thread-safe registry of per-task counters for one platform run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[int, int], TaskCounters] = {}
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+    def for_task(self, task: Optional[TaskContext] = None) -> TaskCounters:
+        """Return (creating if needed) the counters of ``task`` (default: current)."""
+        task = task or current_task()
+        key = (task.mpi_rank, task.omp_thread)
+        with self._lock:
+            counters = self._counters.get(key)
+            if counters is None:
+                counters = TaskCounters()
+                self._counters[key] = counters
+            return counters
+
+    def all_counters(self) -> Dict[Tuple[int, int], TaskCounters]:
+        with self._lock:
+            return dict(self._counters)
+
+    # ------------------------------------------------------------------
+    def total(self, attr: str) -> int:
+        return sum(getattr(c, attr) for c in self.all_counters().values())
+
+    def per_task(self, attr: str) -> List[int]:
+        return [getattr(c, attr) for c in self.all_counters().values()]
+
+    def max_task(self, attr: str) -> int:
+        values = self.per_task(attr)
+        return max(values) if values else 0
+
+    def summary(self) -> dict:
+        """Aggregate view used by the benchmark harness."""
+        counters = self.all_counters()
+        return {
+            "tasks": len(counters),
+            "total_updates": self.total("updates"),
+            "max_updates": self.max_task("updates"),
+            "total_pages_fetched": self.total("pages_fetched"),
+            "total_bytes_fetched": self.total("bytes_fetched"),
+            "total_messages": self.total("messages"),
+            "recomputed_steps": self.total("recomputed_steps"),
+            "mmat_hits": self.total("mmat_hits"),
+            "env_searches": self.total("env_searches"),
+        }
+
+
+#: Process-wide recorder.  The Platform driver resets it at the start of
+#: every run and snapshots it at the end, so independent runs do not mix.
+_GLOBAL = TraceRecorder()
+
+
+def global_trace() -> TraceRecorder:
+    """Return the process-wide trace recorder."""
+    return _GLOBAL

@@ -1,0 +1,97 @@
+"""Integration tests for the scaling-figure generators (shape assertions).
+
+Each test runs a miniature version of one evaluation figure and asserts
+the qualitative property the paper reports — who wins, in which
+direction the curve bends — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    fig6_overhead,
+    fig7_strong_scaling_mpi,
+    fig8_weak_scaling_mpi,
+    fig9_strong_scaling_omp,
+    fig10_weak_scaling_omp,
+    fig11_hybrid,
+    sgrid_workload,
+    usgrid_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_series():
+    return {
+        "SGrid": sgrid_workload(16, block_size=4),
+        "USGrid CaseR": usgrid_workload(16, case="R", block_cells=32),
+    }
+
+
+class TestFig6:
+    def test_overhead_rows_structure(self):
+        rows = fig6_overhead(
+            workloads=[sgrid_workload(16, loops=1)],
+            configurations=("serial", "nop"),
+            include_mmat=True,
+        )
+        configs = {row["configuration"] for row in rows}
+        assert {"Handwritten", "Platform", "Platform NOP"} <= configs
+        handwritten = [r for r in rows if r["configuration"] == "Handwritten"][0]
+        assert handwritten["relative_pct"] == 100.0
+        platform_rows = [r for r in rows if r["configuration"] != "Handwritten"]
+        # The platform has overhead over handwritten code on a single task.
+        assert all(r["relative_pct"] > 100.0 for r in platform_rows)
+
+    def test_mmat_reduces_usgrid_overhead(self):
+        rows = fig6_overhead(
+            workloads=[usgrid_workload(24, block_cells=32, loops=2)],
+            configurations=("serial",),
+            include_mmat=True,
+        )
+        without = [r for r in rows if r["mmat"] == "w/o MMAT"][0]
+        with_mmat = [r for r in rows if r["mmat"] == "w MMAT"][0]
+        # Wall-clock on tiny problems is noisy; allow a small tolerance but
+        # MMAT must not make the indirect-access benchmark meaningfully slower.
+        assert with_mmat["elapsed_s"] < without["elapsed_s"] * 1.05
+
+
+class TestStrongScaling:
+    def test_fig7_mpi_strong_scaling_is_nearly_linear(self, tiny_series):
+        rows = fig7_strong_scaling_mpi(counts=(1, 2, 4), series={"SGrid": tiny_series["SGrid"]})
+        by_tasks = {row["tasks"]: row["relative"] for row in rows}
+        assert by_tasks[1] == pytest.approx(1.0)
+        assert 0.4 < by_tasks[2] < 0.95
+        assert 0.2 < by_tasks[4] < 0.7
+        assert by_tasks[4] < by_tasks[2] < by_tasks[1]
+
+    def test_fig9_omp_strong_scaling_is_nearly_linear(self, tiny_series):
+        rows = fig9_strong_scaling_omp(counts=(1, 4), series={"SGrid": tiny_series["SGrid"]})
+        by_tasks = {row["tasks"]: row["relative"] for row in rows}
+        assert by_tasks[4] < 0.6
+
+
+class TestWeakScaling:
+    def test_fig8_caser_degrades_more_than_sgrid(self, tiny_series):
+        rows = fig8_weak_scaling_mpi(counts=(1, 4), series=tiny_series)
+        by_series = {}
+        for row in rows:
+            by_series.setdefault(row["series"], {})[row["tasks"]] = row["relative"]
+        assert by_series["SGrid"][4] >= 0.99  # roughly flat
+        assert by_series["USGrid CaseR"][4] > by_series["SGrid"][4]
+
+    def test_fig10_weak_omp_degrades_gradually(self, tiny_series):
+        rows = fig10_weak_scaling_omp(counts=(1, 4), series={"SGrid": tiny_series["SGrid"]})
+        by_tasks = {row["tasks"]: row["relative"] for row in rows}
+        assert 1.0 <= by_tasks[4] < 2.0
+
+
+class TestHybrid:
+    def test_fig11_rows_cover_all_combinations(self, tiny_series):
+        combos = ((1, 4), (2, 2), (4, 1))
+        rows = fig11_hybrid(combinations=combos, series={"SGrid": tiny_series["SGrid"]})
+        seen = {(row["processes"], row["threads"]) for row in rows}
+        assert seen == set(combos)
+        # 4 tasks in any split beat the single-task baseline.
+        assert all(row["relative_pct"] < 100.0 for row in rows)

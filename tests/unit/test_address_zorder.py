@@ -1,0 +1,149 @@
+"""Unit tests for addresses and the Z-order (Morton) indexing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import (
+    AddressError,
+    GlobalAddress,
+    LocalAddress,
+    morton_decode,
+    morton_decode_2d,
+    morton_decode_3d,
+    morton_encode,
+    morton_encode_2d,
+    morton_encode_3d,
+    offset_in_box,
+    pdep,
+    pext,
+    to_global,
+    to_local,
+    zorder_sorted,
+)
+from repro.memory.address import box_contains
+
+
+class TestAddresses:
+    def test_global_address_is_tuple(self):
+        addr = GlobalAddress((1, 2))
+        assert addr == (1, 2)
+        assert addr.ndim == 2
+
+    def test_global_address_requires_coords(self):
+        with pytest.raises(AddressError):
+            GlobalAddress(())
+
+    def test_shifted(self):
+        assert GlobalAddress((1, 2)).shifted((3, -1)) == (4, 1)
+
+    def test_shifted_dim_mismatch(self):
+        with pytest.raises(AddressError):
+            GlobalAddress((1, 2)).shifted((1,))
+
+    def test_local_address(self):
+        assert LocalAddress((0, 3)).ndim == 2
+
+    def test_to_global_and_back(self):
+        origin = (10, 20)
+        local = (3, 4)
+        global_addr = to_global(origin, local)
+        assert global_addr == (13, 24)
+        assert to_local(origin, global_addr) == local
+
+    def test_conversion_dim_mismatch(self):
+        with pytest.raises(AddressError):
+            to_global((1, 2), (3,))
+        with pytest.raises(AddressError):
+            to_local((1,), (3, 4))
+
+    @pytest.mark.parametrize(
+        "shape,local,expected",
+        [((4, 4), (0, 0), 0), ((4, 4), (0, 3), 3), ((4, 4), (1, 0), 4), ((4, 4), (3, 3), 15),
+         ((2, 3, 4), (1, 2, 3), 23)],
+    )
+    def test_offset_in_box(self, shape, local, expected):
+        assert offset_in_box(shape, local) == expected
+
+    @pytest.mark.parametrize("local", [(-1, 0), (4, 0), (0, 4)])
+    def test_offset_outside_box(self, local):
+        with pytest.raises(AddressError):
+            offset_in_box((4, 4), local)
+
+    def test_box_contains(self):
+        assert box_contains((0, 0), (4, 4), (3, 3))
+        assert not box_contains((0, 0), (4, 4), (4, 0))
+        assert not box_contains((0, 0), (4, 4), (0, -1))
+        assert not box_contains((0, 0), (4, 4), (0, 0, 0))
+
+
+class TestBitTwiddling:
+    def test_pdep_basic(self):
+        # Deposit 0b11 into alternating mask 0b0101 -> 0b0101
+        assert pdep(0b11, 0b0101) == 0b0101
+        assert pdep(0b10, 0b0101) == 0b0100
+        assert pdep(0b1, 0b1000) == 0b1000
+
+    def test_pext_basic(self):
+        assert pext(0b0101, 0b0101) == 0b11
+        assert pext(0b0100, 0b0101) == 0b10
+
+    def test_pdep_pext_roundtrip(self):
+        mask = 0b10110100
+        for value in range(16):
+            assert pext(pdep(value, mask), mask) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pdep(-1, 3)
+        with pytest.raises(ValueError):
+            pext(1, -3)
+
+
+class TestMorton:
+    @pytest.mark.parametrize("x,y", [(0, 0), (1, 0), (0, 1), (3, 5), (255, 1), (1000, 2000)])
+    def test_2d_roundtrip(self, x, y):
+        assert morton_decode_2d(morton_encode_2d(x, y)) == (x, y)
+
+    @pytest.mark.parametrize("coords", [(0, 0, 0), (1, 2, 3), (7, 0, 31)])
+    def test_3d_roundtrip(self, coords):
+        assert morton_decode_3d(morton_encode_3d(*coords)) == coords
+
+    def test_known_values(self):
+        # Interleaved bits of (x=1, y=1) -> 0b11 = 3
+        assert morton_encode_2d(1, 1) == 3
+        assert morton_encode_2d(2, 0) == 4
+        assert morton_encode_2d(0, 2) == 8
+
+    def test_locality_of_consecutive_codes(self):
+        # Cells adjacent on the Z curve are close in space on average.
+        coords = [morton_decode_2d(code) for code in range(16)]
+        jumps = [
+            abs(a[0] - b[0]) + abs(a[1] - b[1]) for a, b in zip(coords, coords[1:])
+        ]
+        # The worst single jump on a 4x4 Z curve is the mid-curve hop;
+        # the average jump stays small, which is the locality that matters.
+        assert max(jumps) <= 4
+        assert sum(jumps) / len(jumps) < 2.0
+
+    def test_encode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton_encode((-1, 0))
+
+    def test_encode_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            morton_encode((1 << 22,), nbits=21)
+
+    def test_decode_requires_positive_ndim(self):
+        with pytest.raises(ValueError):
+            morton_decode(3, 0)
+
+    def test_generic_dimension(self):
+        coords = (3, 1, 4, 1)
+        assert morton_decode(morton_encode(coords), 4) == coords
+
+    def test_zorder_sorted(self):
+        items = [(1, 1), (0, 0), (1, 0), (0, 1)]
+        ordered = zorder_sorted(items, key=lambda c: c)
+        assert ordered[0] == (0, 0)
+        assert ordered[-1] == (1, 1)

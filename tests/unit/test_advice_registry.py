@@ -1,0 +1,195 @@
+"""Unit tests for advice declarations, aspects, annotations and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop import (
+    Advice,
+    AdviceKind,
+    AdviceSignatureError,
+    AopError,
+    Aspect,
+    PointcutRegistry,
+    annotate,
+    any_joinpoint,
+    before,
+    after,
+    around,
+    platform_pointcuts,
+    tagged,
+    tags_of,
+)
+from repro.aop.joinpoint import JoinPointKind, shadow_of
+
+
+class TestAdvice:
+    def test_requires_callable_body(self):
+        with pytest.raises(AdviceSignatureError):
+            Advice(kind=AdviceKind.BEFORE, pointcut=any_joinpoint(), body="not callable")
+
+    def test_requires_parameter(self):
+        with pytest.raises(AdviceSignatureError):
+            Advice(kind=AdviceKind.BEFORE, pointcut=any_joinpoint(), body=lambda: None)
+
+    def test_name_defaults_to_function_name(self):
+        def my_advice(jp):
+            return None
+
+        advice = Advice(kind=AdviceKind.BEFORE, pointcut=any_joinpoint(), body=my_advice)
+        assert advice.name == "my_advice"
+
+    def test_decorator_requires_pointcut(self):
+        with pytest.raises(AdviceSignatureError):
+            before("not a pointcut")(lambda self, jp: None)
+
+    def test_decorator_stacks_declarations(self):
+        @before(tagged("a"))
+        @after(tagged("b"))
+        def advice(self, jp):
+            return None
+
+        kinds = {k for k, _pc, _o in advice.__aop_advice__}
+        assert kinds == {AdviceKind.BEFORE, AdviceKind.AFTER}
+
+
+class TestAspectCollection:
+    def test_advices_are_bound_to_instance(self):
+        class Counting(Aspect):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            @before(any_joinpoint())
+            def tick(self, jp):
+                self.count += 1
+
+        aspect = Counting()
+        advices = aspect.advices()
+        assert len(advices) == 1
+        shadow = shadow_of(lambda x: x)
+        from repro.aop.joinpoint import JoinPoint
+
+        advices[0].invoke(JoinPoint(shadow, None, (), {}))
+        assert aspect.count == 1
+
+    def test_inherited_advice_collected(self):
+        class BaseAspect(Aspect):
+            @before(any_joinpoint())
+            def base_advice(self, jp):
+                pass
+
+        class Derived(BaseAspect):
+            @after(any_joinpoint())
+            def extra(self, jp):
+                pass
+
+        names = {a.name for a in Derived().advices()}
+        assert any("base_advice" in n for n in names)
+        assert any("extra" in n for n in names)
+
+    def test_order_scales_with_aspect_order(self):
+        class Low(Aspect):
+            order = 1
+
+            @before(any_joinpoint())
+            def a(self, jp):
+                pass
+
+        class High(Aspect):
+            order = 2
+
+            @before(any_joinpoint())
+            def a(self, jp):
+                pass
+
+        assert Low().advices()[0].order < High().advices()[0].order
+
+    def test_describe_mentions_order(self):
+        class Something(Aspect):
+            order = 7
+
+            @before(any_joinpoint())
+            def a(self, jp):
+                pass
+
+        assert "7" in Something().describe()
+
+
+class TestAnnotations:
+    def test_annotate_class_and_function(self):
+        @annotate("tag.one", "tag.two")
+        class Thing:
+            @annotate("tag.method")
+            def method(self):
+                pass
+
+        assert {"tag.one", "tag.two"}.issubset(tags_of(Thing))
+        assert "tag.method" in Thing.method.__aop_tags__
+
+    def test_annotate_requires_tags(self):
+        with pytest.raises(AopError):
+            annotate()
+
+    def test_tags_inherited_through_mro(self):
+        @annotate("base.tag")
+        class Base:
+            pass
+
+        class Child(Base):
+            pass
+
+        assert "base.tag" in tags_of(Child)
+
+    def test_shadow_collects_method_tags_from_bases(self):
+        class Base:
+            @annotate("platform.processing")
+            def processing(self):
+                pass
+
+        class Child(Base):
+            def processing(self):  # override, no annotation
+                pass
+
+        shadow = shadow_of(Child.processing, cls=Child)
+        assert "platform.processing" in shadow.tags
+
+    def test_shadow_kind_and_names(self):
+        def func():
+            pass
+
+        shadow = shadow_of(func, kind=JoinPointKind.CALL)
+        assert shadow.kind is JoinPointKind.CALL
+        assert shadow.qualname == "func"
+        assert shadow.full_name.endswith(".func")
+
+
+class TestPointcutRegistry:
+    def test_platform_registry_names(self):
+        registry = platform_pointcuts()
+        for name in (
+            "platform.entry",
+            "platform.initialize",
+            "platform.processing",
+            "platform.finalize",
+            "memory.get_blocks",
+            "memory.refresh",
+        ):
+            assert name in registry
+
+    def test_duplicate_definition_rejected(self):
+        registry = PointcutRegistry()
+        registry.define("x", any_joinpoint())
+        with pytest.raises(AopError):
+            registry.define("x", any_joinpoint())
+        registry.define("x", any_joinpoint(), override=True)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AopError):
+            PointcutRegistry().get("nope")
+
+    def test_names_sorted(self):
+        registry = PointcutRegistry()
+        registry.define("b", any_joinpoint())
+        registry.define("a", any_joinpoint())
+        assert list(registry.names()) == ["a", "b"]

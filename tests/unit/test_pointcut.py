@@ -1,0 +1,130 @@
+"""Unit tests for pointcut expressions and their boolean algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop import (
+    JoinPointKind,
+    PointcutSyntaxError,
+    any_joinpoint,
+    call,
+    execution,
+    named,
+    no_joinpoint,
+    subtype_of,
+    tagged,
+    within,
+)
+from repro.aop.joinpoint import JoinPointShadow
+
+
+def make_shadow(
+    name="refresh",
+    cls="Env",
+    module="repro.memory.env",
+    kind=JoinPointKind.EXECUTION,
+    tags=(),
+):
+    return JoinPointShadow(kind=kind, module=module, cls=cls, name=name, tags=frozenset(tags))
+
+
+class TestExecutionPointcut:
+    def test_exact_match(self):
+        assert execution("Env.refresh").matches(make_shadow())
+
+    def test_wildcard_method(self):
+        assert execution("Env.*").matches(make_shadow(name="get_blocks"))
+
+    def test_wildcard_class(self):
+        assert execution("*.refresh").matches(make_shadow(cls="OtherEnv"))
+
+    def test_bare_function_pattern_matches_any_class(self):
+        assert execution("refresh").matches(make_shadow(cls="Whatever"))
+
+    def test_mismatched_name(self):
+        assert not execution("Env.refresh").matches(make_shadow(name="initialize"))
+
+    def test_kind_filter(self):
+        shadow = make_shadow(kind=JoinPointKind.CALL)
+        assert not execution("Env.refresh").matches(shadow)
+        assert call("Env.refresh").matches(shadow)
+
+    def test_named_matches_both_kinds(self):
+        assert named("Env.refresh").matches(make_shadow(kind=JoinPointKind.CALL))
+        assert named("Env.refresh").matches(make_shadow(kind=JoinPointKind.EXECUTION))
+
+    @pytest.mark.parametrize("bad", ["", "   ", "Env.", None])
+    def test_bad_patterns_raise(self, bad):
+        with pytest.raises((PointcutSyntaxError, AttributeError)):
+            execution(bad)
+
+
+class TestSemanticPointcuts:
+    def test_within_module(self):
+        assert within("repro.memory.*").matches(make_shadow())
+        assert not within("repro.runtime.*").matches(make_shadow())
+
+    def test_within_requires_pattern(self):
+        with pytest.raises(PointcutSyntaxError):
+            within("")
+
+    def test_tagged_single(self):
+        shadow = make_shadow(tags={"memory.refresh"})
+        assert tagged("memory.refresh").matches(shadow)
+        assert not tagged("memory.get_blocks").matches(shadow)
+
+    def test_tagged_requires_all(self):
+        shadow = make_shadow(tags={"a", "b"})
+        assert tagged("a", "b").matches(shadow)
+        assert not tagged("a", "c").matches(shadow)
+
+    def test_tagged_requires_at_least_one_tag(self):
+        with pytest.raises(PointcutSyntaxError):
+            tagged()
+
+    def test_subtype_of_uses_class_chain_tags(self):
+        class Base:
+            pass
+
+        shadow = make_shadow(tags={"class:Base", "class:Derived"})
+        assert subtype_of(Base).matches(shadow)
+
+    def test_subtype_of_negative(self):
+        class Unrelated:
+            pass
+
+        shadow = make_shadow(tags={"class:Base"})
+        assert not subtype_of(Unrelated).matches(shadow)
+
+
+class TestPointcutAlgebra:
+    def test_and(self):
+        pc = execution("Env.*") & tagged("memory.refresh")
+        assert pc.matches(make_shadow(tags={"memory.refresh"}))
+        assert not pc.matches(make_shadow())
+
+    def test_or(self):
+        pc = execution("Env.refresh") | execution("Env.get_blocks")
+        assert pc.matches(make_shadow(name="get_blocks"))
+        assert not pc.matches(make_shadow(name="initialize"))
+
+    def test_not(self):
+        pc = ~execution("Env.refresh")
+        assert not pc.matches(make_shadow())
+        assert pc.matches(make_shadow(name="other"))
+
+    def test_any_and_none(self):
+        assert any_joinpoint().matches(make_shadow())
+        assert not no_joinpoint().matches(make_shadow())
+
+    def test_de_morgan_like_composition(self):
+        a = execution("Env.refresh")
+        b = tagged("x")
+        shadow = make_shadow(tags={"x"})
+        assert (~(a & b)).matches(shadow) == (not (a & b).matches(shadow))
+
+    def test_description_strings(self):
+        pc = execution("Env.refresh") & ~tagged("x")
+        assert "execution(Env.refresh)" in pc.description
+        assert "tagged(x)" in pc.description

@@ -1,0 +1,260 @@
+"""Unit tests for the weaver: advice dispatch order, around chains, NOP weaves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop import (
+    Aspect,
+    AspectDefinitionError,
+    WeaveError,
+    Weaver,
+    after,
+    after_returning,
+    after_throwing,
+    annotate,
+    around,
+    before,
+    is_woven,
+    tagged,
+)
+
+
+@annotate("test.cls")
+class Target:
+    """A tiny class with one tagged and one untagged method."""
+
+    def __init__(self):
+        self.log = []
+
+    @annotate("test.step")
+    def step(self, value):
+        self.log.append(("body", value))
+        return value * 2
+
+    def untagged(self):
+        return "plain"
+
+
+class Recorder(Aspect):
+    order = 10
+
+    def __init__(self, events):
+        super().__init__()
+        self.events = events
+
+    @before(tagged("test.step"))
+    def record_before(self, jp):
+        self.events.append(("before", jp.args))
+
+    @after_returning(tagged("test.step"))
+    def record_after(self, jp):
+        self.events.append(("after", jp.result))
+
+
+class Doubler(Aspect):
+    order = 20
+
+    @around(tagged("test.step"))
+    def double(self, jp):
+        result = jp.proceed()
+        return result + 1
+
+
+class TestBasicWeaving:
+    def test_woven_class_is_subclass(self):
+        woven = Weaver([]).weave_class(Target)
+        assert issubclass(woven, Target)
+        assert is_woven(woven)
+        assert not is_woven(Target)
+
+    def test_nop_weave_preserves_behaviour(self):
+        woven = Weaver([]).weave_class(Target)
+        instance = woven()
+        assert instance.step(3) == 6
+        assert instance.untagged() == "plain"
+
+    def test_nop_weave_wraps_tagged_methods_only(self):
+        woven = Weaver([]).weave_class(Target)
+        info = woven.__aop_woven__
+        names = {shadow.name for shadow, _ in info.joinpoints}
+        assert "step" in names
+        assert "untagged" not in names
+
+    def test_before_and_after_advice_fire(self):
+        events = []
+        woven = Weaver([Recorder(events)]).weave_class(Target)
+        instance = woven()
+        assert instance.step(4) == 8
+        assert events == [("before", (4,)), ("after", 8)]
+
+    def test_around_advice_can_modify_result(self):
+        woven = Weaver([Doubler()]).weave_class(Target)
+        assert woven().step(5) == 11
+
+    def test_advice_applies_to_subclass_overrides(self):
+        class Custom(Target):
+            def step(self, value):  # override without re-annotating
+                self.log.append(("custom", value))
+                return value + 100
+
+        events = []
+        woven = Weaver([Recorder(events)]).weave_class(Custom)
+        instance = woven()
+        assert instance.step(1) == 101
+        assert events[0] == ("before", (1,))
+
+    def test_explicit_methods_parameter(self):
+        woven = Weaver([]).weave_class(Target, methods=["untagged"])
+        info = woven.__aop_woven__
+        names = {shadow.name for shadow, _ in info.joinpoints}
+        assert "untagged" in names
+
+    def test_unknown_explicit_method_raises(self):
+        with pytest.raises(WeaveError):
+            Weaver([]).weave_class(Target, methods=["missing_method"])
+
+    def test_weave_non_class_raises(self):
+        with pytest.raises(WeaveError):
+            Weaver([]).weave_class(42)
+
+    def test_weaver_rejects_aspect_classes(self):
+        with pytest.raises(WeaveError):
+            Weaver([Doubler])  # class instead of instance
+
+
+class TestAdviceOrdering:
+    def test_aspect_order_controls_nesting(self):
+        events = []
+
+        class Outer(Aspect):
+            order = 1
+
+            @around(tagged("test.step"))
+            def wrap(self, jp):
+                events.append("outer-in")
+                result = jp.proceed()
+                events.append("outer-out")
+                return result
+
+        class Inner(Aspect):
+            order = 2
+
+            @around(tagged("test.step"))
+            def wrap(self, jp):
+                events.append("inner-in")
+                result = jp.proceed()
+                events.append("inner-out")
+                return result
+
+        woven = Weaver([Inner(), Outer()]).weave_class(Target)
+        woven().step(1)
+        assert events == ["outer-in", "inner-in", "inner-out", "outer-out"]
+
+    def test_before_runs_before_around(self):
+        events = []
+
+        class B(Aspect):
+            @before(tagged("test.step"))
+            def b(self, jp):
+                events.append("before")
+
+        class A(Aspect):
+            @around(tagged("test.step"))
+            def a(self, jp):
+                events.append("around")
+                return jp.proceed()
+
+        Weaver([A(), B()]).weave_class(Target)().step(1)
+        assert events == ["before", "around"]
+
+    def test_around_can_skip_body(self):
+        class Skip(Aspect):
+            @around(tagged("test.step"))
+            def skip(self, jp):
+                return "skipped"
+
+        instance = Weaver([Skip()]).weave_class(Target)()
+        assert instance.step(9) == "skipped"
+        assert instance.log == []
+
+    def test_around_can_change_arguments(self):
+        class Rewrite(Aspect):
+            @around(tagged("test.step"))
+            def rewrite(self, jp):
+                return jp.proceed(10)
+
+        assert Weaver([Rewrite()]).weave_class(Target)().step(1) == 20
+
+    def test_around_can_proceed_twice(self):
+        class Twice(Aspect):
+            @around(tagged("test.step"))
+            def twice(self, jp):
+                jp.proceed()
+                return jp.proceed()
+
+        instance = Weaver([Twice()]).weave_class(Target)()
+        assert instance.step(2) == 4
+        assert len(instance.log) == 2
+
+
+class TestExceptionAdvice:
+    class Boom(Target):
+        @annotate("test.step")
+        def step(self, value):
+            raise ValueError("boom")
+
+    def test_after_throwing_fires(self):
+        events = []
+
+        class Catcher(Aspect):
+            @after_throwing(tagged("test.step"))
+            def caught(self, jp):
+                events.append(type(jp.exception).__name__)
+
+            @after(tagged("test.step"))
+            def always(self, jp):
+                events.append("after")
+
+        woven = Weaver([Catcher()]).weave_class(self.Boom)
+        with pytest.raises(ValueError):
+            woven().step(1)
+        assert events == ["ValueError", "after"]
+
+    def test_after_returning_not_fired_on_exception(self):
+        events = []
+
+        class OnlyReturn(Aspect):
+            @after_returning(tagged("test.step"))
+            def ret(self, jp):
+                events.append("returned")
+
+        woven = Weaver([OnlyReturn()]).weave_class(self.Boom)
+        with pytest.raises(ValueError):
+            woven().step(1)
+        assert events == []
+
+
+class TestFunctionWeaving:
+    def test_weave_function_with_tag(self):
+        events = []
+
+        class EntryAspect(Aspect):
+            @before(tagged("platform.entry"))
+            def enter(self, jp):
+                events.append("enter")
+
+        def main(x):
+            return x + 1
+
+        woven = Weaver([EntryAspect()]).weave_function(main, tags=("platform.entry",))
+        assert woven(1) == 2
+        assert events == ["enter"]
+        assert is_woven(woven)
+
+    def test_aspect_without_advice_is_rejected(self):
+        class Empty(Aspect):
+            pass
+
+        with pytest.raises(AspectDefinitionError):
+            Empty().advices()
