@@ -9,6 +9,13 @@ the application code or the DSL — the textbook cross-cutting concern —
 and runs it together with the OpenMP aspect module to show that custom
 and platform aspects compose.
 
+The aspect declares its pointcuts in the *textual pointcut language*
+(``@around("tagged('platform.processing')")``), the Python counterpart
+of AspectC++'s string match expressions; ``Pointcut`` combinator
+objects remain equally valid.  The first run uses the legacy
+``Platform(aspects=[...])`` constructor on purpose — old call sites
+keep working — while the second uses the fluent builder.
+
 Run with::
 
     python examples/custom_aspect_tracing.py
@@ -19,8 +26,9 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 
-from repro import Platform, openmp_aspects
-from repro.aop import Aspect, after_returning, around, before, tagged
+from repro import Platform
+from repro.aop import Aspect, after_returning, around, before
+
 from repro.apps import JacobiSGrid
 
 
@@ -35,7 +43,7 @@ class StepTimerAspect(Aspect):
         self.processing_seconds = 0.0
         self.refresh_outcomes = defaultdict(int)
 
-    @around(tagged("platform.processing"))
+    @around("tagged('platform.processing')")
     def time_processing(self, jp):
         start = time.perf_counter()
         try:
@@ -43,11 +51,11 @@ class StepTimerAspect(Aspect):
         finally:
             self.processing_seconds += time.perf_counter() - start
 
-    @after_returning(tagged("memory.refresh"))
+    @after_returning("tagged('memory.refresh')")
     def count_refresh(self, jp):
         self.refresh_outcomes["success" if jp.result else "retry"] += 1
 
-    @before(tagged("platform.finalize"))
+    @before("tagged('platform.finalize')")
     def report(self, jp):
         print(
             f"[StepTimerAspect] processing took {self.processing_seconds:.3f}s, "
@@ -61,15 +69,19 @@ def main() -> None:
         init=lambda x, y: float(x == y),
     )
 
-    print("-- serial run with the custom timing aspect only --")
+    print("-- serial run with the custom timing aspect only (legacy constructor) --")
     timer = StepTimerAspect()
     Platform(aspects=[timer]).run(JacobiSGrid, config=config)
 
     print("\n-- OpenMP x4 run with the timing aspect woven alongside the layer module --")
     timer_parallel = StepTimerAspect()
-    aspects = [timer_parallel, *openmp_aspects(4)]
-    run = Platform(aspects=aspects, mmat=True).run(JacobiSGrid, config=config)
-    print(f"tasks: {len(run.counters)}, refresh outcomes seen by the custom aspect: "
+    run = (Platform.builder()
+           .aspect(timer_parallel)
+           .omp(4)
+           .mmat()
+           .run(JacobiSGrid, config=config))
+    print(f"run: {run.summary()}")
+    print(f"refresh outcomes seen by the custom aspect: "
           f"{dict(timer_parallel.refresh_outcomes)}")
 
 

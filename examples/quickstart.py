@@ -7,6 +7,13 @@ then parallelised purely by choosing which aspect modules to weave —
 no change to the application code at all, which is the paper's central
 claim.
 
+Configurations are selected with the Platform API v2: named *presets*
+(``Platform.preset("hybrid", ranks=2, threads=2)``) reproduce the
+paper's Fig. 3 build configurations, and the fluent *builder*
+(``Platform.builder().omp(4).mmat().build()``) composes custom stacks.
+The serial run keeps the original ``Platform()`` constructor to show
+the legacy path still works unchanged.
+
 Run with::
 
     python examples/quickstart.py
@@ -16,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Platform, hybrid_aspects, mpi_aspects, openmp_aspects
+from repro import Platform
 from repro.apps import JacobiSGrid
 
 
@@ -39,29 +46,32 @@ CONFIG = dict(
 def describe(label: str, run) -> None:
     field = run.result
     interior = field[~np.isnan(field)]
-    print(
-        f"{label:<22} mean={interior.mean():8.4f}  max={interior.max():8.4f}  "
-        f"tasks={max(len(run.counters), 1)}  elapsed={run.elapsed:.3f}s"
-    )
+    print(f"{label:<22} mean={interior.mean():8.4f}  max={interior.max():8.4f}  "
+          f"[{run.summary()}]")
 
 
 def main() -> None:
     print("Jacobi heat diffusion on the structured-grid DSL (32x32, 5 sweeps)\n")
 
     # 1. Serial: the application exactly as written, no weaving at all.
+    #    (Legacy constructor — equivalent to Platform.preset("serial").)
     serial = Platform().run(JacobiSGrid, config=CONFIG)
     describe("serial", serial)
 
-    # 2. Shared-memory parallel: weave the OpenMP-layer aspect module.
-    omp = Platform(aspects=openmp_aspects(4), mmat=True).run(JacobiSGrid, config=CONFIG)
+    # 2. Shared-memory parallel: the "Platform OMP" preset.
+    omp = Platform.preset("omp", threads=4, mmat=True).run(JacobiSGrid, config=CONFIG)
     describe("OpenMP x4", omp)
 
-    # 3. Distributed-memory parallel: weave the MPI-layer aspect module.
-    mpi = Platform(aspects=mpi_aspects(4), mmat=True).run(JacobiSGrid, config=CONFIG)
+    # 3. Distributed-memory parallel: the "Platform MPI" preset.
+    mpi = Platform.preset("mpi", ranks=4, mmat=True).run(JacobiSGrid, config=CONFIG)
     describe("MPI x4", mpi)
 
-    # 4. Hybrid: combine both layer modules (2 ranks x 2 threads).
-    hybrid = Platform(aspects=hybrid_aspects(2, 2), mmat=True).run(JacobiSGrid, config=CONFIG)
+    # 4. Hybrid: both layer modules, built with the fluent builder this
+    #    time (equivalent to preset("hybrid", ranks=2, threads=2)).
+    hybrid = (Platform.builder()
+              .mpi(2).omp(2)
+              .mmat()
+              .run(JacobiSGrid, config=CONFIG))
     describe("MPI x2 + OpenMP x2", hybrid)
 
     # All runs compute the same answer (rank-local data compared where owned).

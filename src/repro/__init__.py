@@ -17,8 +17,8 @@ Top-level layout (see DESIGN.md for the full inventory):
 * :mod:`repro.bench` — benchmark harness shared by the ``benchmarks/`` suite.
 """
 
-from .annotation import Platform, PlatformRun, TargetApplication
-from .aop import Aspect, Weaver
+from .annotation import Platform, PlatformBuilder, PlatformRun, TargetApplication
+from .aop import Aspect, Weaver, parse_pointcut
 from .aspects import (
     DistributedMemoryAspect,
     SharedMemoryAspect,
@@ -33,10 +33,12 @@ __version__ = "0.1.0"
 
 __all__ = [
     "Platform",
+    "PlatformBuilder",
     "PlatformRun",
     "TargetApplication",
     "Aspect",
     "Weaver",
+    "parse_pointcut",
     "Env",
     "DistributedMemoryAspect",
     "SharedMemoryAspect",

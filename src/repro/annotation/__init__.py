@@ -1,6 +1,13 @@
 """Annotation Library and Platform driver (Platform Part A.1 of the paper)."""
 
-from .driver import Platform, PlatformRun
+from .driver import PRESETS, Platform, PlatformBuilder, PlatformRun
 from .target import KernelFn, TargetApplication
 
-__all__ = ["Platform", "PlatformRun", "TargetApplication", "KernelFn"]
+__all__ = [
+    "Platform",
+    "PlatformBuilder",
+    "PlatformRun",
+    "PRESETS",
+    "TargetApplication",
+    "KernelFn",
+]

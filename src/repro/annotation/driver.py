@@ -12,6 +12,13 @@ the resulting binary: the driver weaves the application class and the
 Env class, wraps its own execution entry point (the ``main`` join
 point, AspectType I's pointcut), and then runs Initialize → Processing
 → Finalize.
+
+Three equivalent ways to obtain a configured Platform:
+
+* the original constructor — ``Platform(aspects=hybrid_aspects(4, 2))``;
+* the fluent builder — ``Platform.builder().mpi(4).omp(2).mmat().build()``;
+* a named preset reproducing one of Fig. 3's configurations —
+  ``Platform.preset("hybrid", ranks=4, threads=2)``.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from ..runtime.machine import OAKBRIDGE_CX_LIKE, MachineSpec
 from ..runtime.tracing import TaskCounters, global_trace
 from .target import TargetApplication
 
-__all__ = ["Platform", "PlatformRun"]
+__all__ = ["Platform", "PlatformBuilder", "PlatformRun", "PRESETS"]
 
 
 @dataclass
@@ -49,10 +56,192 @@ class PlatformRun:
     layers: Dict[str, int] = field(default_factory=dict)
     #: Memory report of the master task's Env (Fig. 12).
     memory: dict = field(default_factory=dict)
+    #: Whether the run went through the weaver ("Platform NOP" and up);
+    #: False for the plain "Platform" (serial) configuration.
+    transcompiled: bool = False
 
     @property
     def result(self) -> Any:
         return self.app.result
+
+    def summary(self) -> str:
+        """One-line report of the run, for benchmark tables and logs.
+
+        Example::
+
+            mpi=2,omp=2 tasks=4 elapsed=0.041s steps=8 updates=4096
+            fetched=12pg/3.1KiB collectives=10
+        """
+        layers = ",".join(f"{k}={v}" for k, v in sorted(self.layers.items()))
+        if not layers:
+            layers = "nop" if self.transcompiled else "serial"
+        tasks = max(len(self.counters), 1)
+        steps = sum(c.steps for c in self.counters.values())
+        updates = sum(c.updates for c in self.counters.values())
+        pages = sum(c.pages_fetched for c in self.counters.values())
+        nbytes = sum(c.bytes_fetched for c in self.counters.values())
+        collectives = sum(c.collectives for c in self.counters.values())
+        return (
+            f"{layers} tasks={tasks} elapsed={self.elapsed:.3f}s "
+            f"steps={steps} updates={updates} "
+            f"fetched={pages}pg/{nbytes / 1024:.1f}KiB collectives={collectives}"
+        )
+
+
+class PlatformBuilder:
+    """Fluent builder for :class:`Platform` configurations.
+
+    Every method returns the builder, so a full configuration reads as
+    one chain::
+
+        platform = (Platform.builder()
+                    .mpi(4).omp(2)
+                    .mmat()
+                    .pool_bytes(32 * 1024 * 1024)
+                    .aspect(StepTimerAspect())
+                    .build())
+
+    ``build()`` may be called repeatedly; each call produces a fresh
+    Platform.  Layer aspects added via :meth:`mpi`/:meth:`omp` are
+    instantiated *per build* (layer modules are stateful), whereas an
+    instance handed to :meth:`aspect` is attached as-is — sharing that
+    instance between several built platforms is the caller's
+    responsibility.
+    """
+
+    def __init__(self) -> None:
+        #: Factories producing the aspect stack; None means "no
+        #: transcompilation requested", [] means "Platform NOP".
+        self._aspect_factories: Optional[List[Any]] = None
+        self._mmat = False
+        self._pool_bytes: Optional[int] = None
+        self._machine: Optional[MachineSpec] = None
+        self._transcompile: Optional[bool] = None
+
+    # -- layers ---------------------------------------------------------
+    def _factories(self) -> List[Any]:
+        if self._aspect_factories is None:
+            self._aspect_factories = []
+        return self._aspect_factories
+
+    def aspect(self, aspect: Aspect) -> "PlatformBuilder":
+        """Attach one aspect module instance (custom or platform)."""
+        if not isinstance(aspect, Aspect):
+            raise TypeError(f"aspect() expects an Aspect instance, got {aspect!r}")
+        self._factories().append(lambda: aspect)
+        return self
+
+    def aspects(self, aspects: Sequence[Aspect]) -> "PlatformBuilder":
+        """Attach several aspect module instances at once."""
+        for aspect in aspects:
+            self.aspect(aspect)
+        return self
+
+    def mpi(self, ranks: int, **kwargs: Any) -> "PlatformBuilder":
+        """Attach the distributed-memory layer with ``ranks`` processes."""
+        from ..aspects.mpi_aspect import DistributedMemoryAspect
+
+        self._factories().append(
+            lambda: DistributedMemoryAspect(processes=ranks, **kwargs)
+        )
+        return self
+
+    def omp(self, threads: int, **kwargs: Any) -> "PlatformBuilder":
+        """Attach the shared-memory layer with ``threads`` threads."""
+        from ..aspects.openmp_aspect import SharedMemoryAspect
+
+        self._factories().append(lambda: SharedMemoryAspect(threads=threads, **kwargs))
+        return self
+
+    def nop(self) -> "PlatformBuilder":
+        """Transcompile with no aspect modules (the paper's "Platform NOP")."""
+        self._factories()
+        return self
+
+    # -- knobs ----------------------------------------------------------
+    def mmat(self, enabled: bool = True) -> "PlatformBuilder":
+        """Enable (or disable) MMAT on every Env the application builds."""
+        self._mmat = bool(enabled)
+        return self
+
+    def pool_bytes(self, nbytes: int) -> "PlatformBuilder":
+        """Size of the memory pool backing each Env."""
+        self._pool_bytes = int(nbytes)
+        return self
+
+    def machine(self, spec: MachineSpec) -> "PlatformBuilder":
+        """Machine description used by the benchmarks' cost model."""
+        self._machine = spec
+        return self
+
+    def transcompile(self, enabled: bool = True) -> "PlatformBuilder":
+        """Force the transcompile decision instead of inferring it."""
+        self._transcompile = bool(enabled)
+        return self
+
+    # -- terminal -------------------------------------------------------
+    def build(self) -> "Platform":
+        """Materialise the configured :class:`Platform` (weaves Env).
+
+        Only knobs that were explicitly set are forwarded, so builder
+        output always tracks ``Platform.__init__``'s own defaults.
+        """
+        kwargs: Dict[str, Any] = {"mmat": self._mmat}
+        if self._pool_bytes is not None:
+            kwargs["env_pool_bytes"] = self._pool_bytes
+        if self._machine is not None:
+            kwargs["machine"] = self._machine
+        if self._transcompile is not None:
+            kwargs["transcompile"] = self._transcompile
+        aspects = None
+        if self._aspect_factories is not None:
+            aspects = [factory() for factory in self._aspect_factories]
+        return Platform(aspects=aspects, **kwargs)
+
+    def run(
+        self, app_cls: Type[TargetApplication], *, config: Optional[dict] = None
+    ) -> PlatformRun:
+        """Shorthand for ``builder.build().run(app_cls, config=config)``."""
+        return self.build().run(app_cls, config=config)
+
+
+def _preset_serial(builder: PlatformBuilder, ranks: int, threads: int) -> None:
+    if ranks != 1 or threads != 1:
+        raise ValueError("the 'serial' preset runs exactly one task")
+
+
+def _preset_nop(builder: PlatformBuilder, ranks: int, threads: int) -> None:
+    if ranks != 1 or threads != 1:
+        raise ValueError("the 'nop' preset runs exactly one task")
+    builder.nop()
+
+
+def _preset_mpi(builder: PlatformBuilder, ranks: int, threads: int) -> None:
+    if threads != 1:
+        raise ValueError("the 'mpi' preset takes only ranks; use 'hybrid' for threads")
+    builder.mpi(ranks)
+
+
+def _preset_omp(builder: PlatformBuilder, ranks: int, threads: int) -> None:
+    if ranks != 1:
+        raise ValueError("the 'omp' preset takes only threads; use 'hybrid' for ranks")
+    builder.omp(threads)
+
+
+def _preset_hybrid(builder: PlatformBuilder, ranks: int, threads: int) -> None:
+    # List order is cosmetic; nesting is fixed by each aspect's `order`
+    # (shared-memory outside distributed-memory, see aspects/hybrid.py).
+    builder.omp(threads).mpi(ranks)
+
+
+#: Named presets reproducing the paper's Fig. 3 build configurations.
+PRESETS = {
+    "serial": _preset_serial,
+    "nop": _preset_nop,
+    "mpi": _preset_mpi,
+    "omp": _preset_omp,
+    "hybrid": _preset_hybrid,
+}
 
 
 class Platform:
@@ -106,6 +295,49 @@ class Platform:
                 )
             self.weaver = None
             self.env_class = Env
+
+    # ------------------------------------------------------------------
+    # construction sugar
+    # ------------------------------------------------------------------
+    @classmethod
+    def builder(cls) -> PlatformBuilder:
+        """Start a fluent :class:`PlatformBuilder` chain."""
+        return PlatformBuilder()
+
+    @classmethod
+    def preset(
+        cls,
+        name: str,
+        *,
+        ranks: int = 1,
+        threads: int = 1,
+        mmat: bool = False,
+        pool_bytes: Optional[int] = None,
+        machine: Optional[MachineSpec] = None,
+    ) -> "Platform":
+        """Build one of the paper's named configurations (Fig. 3).
+
+        ===========  ====================================================
+        ``serial``   no transcompilation at all ("Platform")
+        ``nop``      transcompiled, no aspect modules ("Platform NOP")
+        ``mpi``      distributed-memory layer, ``ranks`` processes
+        ``omp``      shared-memory layer, ``threads`` threads
+        ``hybrid``   both layers, ``ranks`` × ``threads`` tasks
+        ===========  ====================================================
+        """
+        configure = PRESETS.get(name)
+        if configure is None:
+            raise ValueError(
+                f"unknown platform preset {name!r} "
+                f"(expected one of: {', '.join(sorted(PRESETS))})"
+            )
+        builder = cls.builder().mmat(mmat)
+        if pool_bytes is not None:
+            builder.pool_bytes(pool_bytes)
+        if machine is not None:
+            builder.machine(machine)
+        configure(builder, int(ranks), int(threads))
+        return builder.build()
 
     # ------------------------------------------------------------------
     @property
@@ -194,4 +426,5 @@ class Platform:
             network=network,
             layers=self.layer_parallelism(),
             memory=memory,
+            transcompiled=self.transcompile,
         )

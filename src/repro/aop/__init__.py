@@ -12,9 +12,12 @@ Public API
 * pointcuts: :func:`execution`, :func:`call`, :func:`named`,
   :func:`within`, :func:`tagged`, :func:`subtype_of`,
   :func:`any_joinpoint`
+* the textual pointcut language: :func:`parse_pointcut` /
+  :func:`as_pointcut` (``"execution() && tagged('kernel')"``)
 * advice decorators: :func:`before`, :func:`after`,
-  :func:`after_returning`, :func:`after_throwing`, :func:`around`
-* :class:`Aspect`, :class:`Weaver`, :class:`JoinPoint`
+  :func:`after_returning`, :func:`after_throwing`, :func:`around` —
+  each accepting a :class:`Pointcut` or a pointcut expression string
+* :class:`Aspect`, :class:`Weaver`, :class:`WeavePlan`, :class:`JoinPoint`
 * annotations: :func:`annotate`, :func:`platform_pointcuts`
 """
 
@@ -34,17 +37,23 @@ from .errors import (
     AspectDefinitionError,
     PointcutSyntaxError,
     WeaveError,
+    WeaveWarning,
 )
 from .joinpoint import JoinPoint, JoinPointKind, JoinPointShadow, shadow_of
+from .pcparser import as_pointcut, parse_pointcut
 from .pointcut import (
     Pointcut,
+    any_call,
+    any_execution,
     any_joinpoint,
     call,
     execution,
     named,
     no_joinpoint,
+    subtype_named,
     subtype_of,
     tagged,
+    tagged_like,
     within,
 )
 from .registry import (
@@ -61,7 +70,7 @@ from .registry import (
     platform_pointcuts,
     tags_of,
 )
-from .weaver import Weaver, WovenInfo, is_woven
+from .weaver import PlanEntry, WeavePlan, Weaver, WovenInfo, is_woven
 
 __all__ = [
     "Advice",
@@ -73,10 +82,13 @@ __all__ = [
     "Pointcut",
     "PointcutRegistry",
     "Weaver",
+    "WeavePlan",
+    "PlanEntry",
     "WovenInfo",
     "AopError",
     "PointcutSyntaxError",
     "WeaveError",
+    "WeaveWarning",
     "AdviceSignatureError",
     "AspectDefinitionError",
     "annotate",
@@ -84,12 +96,18 @@ __all__ = [
     "platform_pointcuts",
     "shadow_of",
     "is_woven",
+    "parse_pointcut",
+    "as_pointcut",
     "execution",
     "call",
+    "any_execution",
+    "any_call",
     "named",
     "within",
     "tagged",
+    "tagged_like",
     "subtype_of",
+    "subtype_named",
     "any_joinpoint",
     "no_joinpoint",
     "before",

@@ -16,6 +16,13 @@ Advice bodies are plain callables receiving the :class:`JoinPoint`.
 Inside an :class:`~repro.aop.aspect.Aspect` subclass they are declared
 with the :func:`before` / :func:`after` / :func:`around` decorators and
 receive ``(self, jp)``.
+
+Each decorator (and :class:`Advice` itself) accepts either a
+:class:`~repro.aop.pointcut.Pointcut` object or a *textual pointcut
+expression* compiled by :func:`repro.aop.pcparser.parse_pointcut`::
+
+    @before("execution() && tagged('kernel')")
+    def count(self, jp): ...
 """
 
 from __future__ import annotations
@@ -24,10 +31,11 @@ import enum
 import functools
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Union
 
 from .errors import AdviceSignatureError
 from .joinpoint import JoinPoint
+from .pcparser import as_pointcut
 from .pointcut import Pointcut
 
 __all__ = [
@@ -62,12 +70,14 @@ class Advice:
     """
 
     kind: AdviceKind
-    pointcut: Pointcut
+    pointcut: Union[Pointcut, str]
     body: Callable[..., Any]
     order: int = 0
     name: str = field(default="")
 
     def __post_init__(self) -> None:
+        if isinstance(self.pointcut, str):
+            self.pointcut = as_pointcut(self.pointcut)
         if not callable(self.body):
             raise AdviceSignatureError(f"advice body must be callable, got {self.body!r}")
         if not self.name:
@@ -114,10 +124,15 @@ class Advice:
 # ----------------------------------------------------------------------
 
 def _make_decorator(kind: AdviceKind):
-    def decorator(pointcut: Pointcut, *, order: int = 0):
-        if not isinstance(pointcut, Pointcut):
+    def decorator(pointcut: Union[Pointcut, str], *, order: int = 0):
+        if isinstance(pointcut, str):
+            # Compiled at declaration time so a typo fails at import with
+            # the caret diagnostic, not silently at weave time.
+            pointcut = as_pointcut(pointcut)
+        elif not isinstance(pointcut, Pointcut):
             raise AdviceSignatureError(
-                f"@{kind.value} expects a Pointcut, got {pointcut!r}"
+                f"@{kind.value} expects a Pointcut or a pointcut expression "
+                f"string, got {pointcut!r}"
             )
 
         def wrap(func: Callable) -> Callable:

@@ -12,9 +12,13 @@ Usage::
     class TraceAspect(Aspect):
         order = 10                       # precedence (lower = outer)
 
-        @before(tagged("platform.processing"))
+        @before("tagged('platform.processing')")   # textual pointcut …
         def log_enter(self, jp):
             print("entering", jp.shadow.qualname)
+
+        @before(tagged("platform.finalize"))       # … or a Pointcut object
+        def log_done(self, jp):
+            print("done")
 
 Aspects are *instantiated* before weaving so they may carry state (the
 MPI aspect owns the simulated communicator, the OpenMP aspect owns the

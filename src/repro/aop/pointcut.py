@@ -29,10 +29,14 @@ __all__ = [
     "Pointcut",
     "execution",
     "call",
+    "any_execution",
+    "any_call",
     "within",
     "named",
     "tagged",
+    "tagged_like",
     "subtype_of",
+    "subtype_named",
     "any_joinpoint",
     "no_joinpoint",
 ]
@@ -129,6 +133,20 @@ def call(pattern: str) -> Pointcut:
     )
 
 
+def any_execution() -> Pointcut:
+    """Match every *execution* join point, regardless of name.
+
+    This is what a bare ``execution()`` in the textual pointcut language
+    compiles to (AspectC++'s ``execution("% ...::%(...)")``).
+    """
+    return Pointcut(lambda s: s.kind is JoinPointKind.EXECUTION, "execution()")
+
+
+def any_call() -> Pointcut:
+    """Match every *call* join point, regardless of name."""
+    return Pointcut(lambda s: s.kind is JoinPointKind.CALL, "call()")
+
+
 def named(pattern: str) -> Pointcut:
     """Match join points of *either* kind whose qualified name matches."""
     cls_pat, name_pat = _parse_pattern(pattern)
@@ -162,6 +180,52 @@ def tagged(*tags: str) -> Pointcut:
     return Pointcut(
         lambda s: tagset.issubset(s.tags),
         f"tagged({', '.join(sorted(tagset))})",
+    )
+
+
+def tagged_like(*patterns: str) -> Pointcut:
+    """Match join points where every pattern matches *some* annotation tag.
+
+    Unlike :func:`tagged` (exact tag membership), each pattern here is
+    matched with shell-style wildcards against the full tag **or** its
+    last dotted component, so the textual pointcut language can write
+    ``tagged('kernel')`` for the platform tag ``platform.kernel`` the
+    way AspectC++ match expressions elide namespaces.
+    """
+    if not patterns:
+        raise PointcutSyntaxError("tagged() requires at least one tag pattern")
+
+    def tag_hit(pattern: str, tags: frozenset) -> bool:
+        for tag in tags:
+            if fnmatch.fnmatchcase(tag, pattern):
+                return True
+            if fnmatch.fnmatchcase(tag.rpartition(".")[2], pattern):
+                return True
+        return False
+
+    return Pointcut(
+        lambda s: all(tag_hit(p, s.tags) for p in patterns),
+        f"tagged({', '.join(patterns)})",
+    )
+
+
+def subtype_named(class_pattern: str) -> Pointcut:
+    """Match join points on classes whose MRO contains a class matching
+    ``class_pattern`` (by name, shell wildcards allowed).
+
+    The name-based counterpart of :func:`subtype_of` used by the textual
+    pointcut language (``subtype_of("DslTarget")``), matching the
+    ``class:<Name>`` tags the weaver derives from the target's MRO.
+    """
+    if not class_pattern:
+        raise PointcutSyntaxError("subtype_of() requires a non-empty class name")
+    return Pointcut(
+        lambda s: any(
+            tag.startswith("class:")
+            and fnmatch.fnmatchcase(tag[len("class:"):], class_pattern)
+            for tag in s.tags
+        ),
+        f"subtype_of({class_pattern})",
     )
 
 

@@ -4,12 +4,19 @@ AspectC++ is a source-to-source *transcompiler*: it takes the
 application code plus the selected aspect modules and emits new C++
 code in which every matched join point is wrapped by the advice.  The
 Python equivalent implemented here performs the same transformation at
-class-object level:
+class-object level, split into two phases that mirror AspectC++'s
+"match then transform" pipeline:
 
-* :meth:`Weaver.weave_class` returns a **new subclass** whose matched
-  methods are replaced with wrappers that drive the advice chain.  The
-  original class is left untouched (it corresponds to the paper's
-  "Platform" configuration, compiled directly by the C++ compiler).
+* :meth:`Weaver.plan_class` performs the *match* phase: it scans the
+  class for join point shadows and resolves which advice applies to
+  each, producing an inspectable :class:`WeavePlan`.  Plans are pure
+  functions of the ``(class, weaver)`` pair, so they are computed once
+  and cached on the weaver.
+* :meth:`Weaver.weave_class` performs the *transform* phase: it
+  executes the plan, returning a **new subclass** whose matched methods
+  are replaced with wrappers that drive the advice chain.  The original
+  class is left untouched (it corresponds to the paper's "Platform"
+  configuration, compiled directly by the C++ compiler).
 * :meth:`Weaver.weave_function` does the same for a free function
   (used for the program entry point, the ``main`` of C++ programs).
 
@@ -17,7 +24,9 @@ Weaving with an empty aspect list is permitted and still produces the
 wrapper shell around every *taggable* method — this reproduces the
 paper's "Platform NOP" configuration ("transcompiled through the AC++
 compiler without aspects module"), whose cost the evaluation shows to
-be a few percent.
+be a few percent.  Shadows with no matching advice get a minimal
+pass-through wrapper (no join point object, no advice chain), so that
+NOP overhead stays as close to a plain method call as Python allows.
 
 Advice dispatch order
 ---------------------
@@ -35,14 +44,69 @@ For one join point activation the wrapper executes, in order:
 from __future__ import annotations
 
 import functools
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .advice import Advice, AdviceKind
 from .aspect import Aspect
-from .errors import WeaveError
+from .errors import WeaveError, WeaveWarning
 from .joinpoint import JoinPoint, JoinPointKind, JoinPointShadow, shadow_of
 
-__all__ = ["Weaver", "WovenInfo", "is_woven"]
+__all__ = ["Weaver", "WeavePlan", "PlanEntry", "WovenInfo", "is_woven"]
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One join point shadow of a plan and the advice resolved for it."""
+
+    attr_name: str
+    shadow: JoinPointShadow
+    advice: Tuple[Advice, ...]
+
+    @property
+    def advised(self) -> bool:
+        return bool(self.advice)
+
+    def describe(self) -> str:
+        names = ", ".join(a.name for a in self.advice) or "<no advice>"
+        return f"{self.shadow.qualname}: {names}"
+
+
+@dataclass(frozen=True)
+class WeavePlan:
+    """The match-phase result for one class: shadow → matched advice.
+
+    Plans are immutable and inspectable — benchmarks and tests can ask a
+    platform what it *would* weave without actually weaving — and are
+    cached per ``(class, weaver)`` pair so repeated builds of the same
+    application skip the MRO scan and pointcut evaluation entirely.
+    """
+
+    cls: type
+    entries: Tuple[PlanEntry, ...]
+
+    @property
+    def wrapped_sites(self) -> int:
+        return len(self.entries)
+
+    @property
+    def advised_sites(self) -> int:
+        return sum(1 for entry in self.entries if entry.advised)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the plan."""
+        header = (
+            f"WeavePlan for {self.cls.__name__}: "
+            f"{self.wrapped_sites} shadow(s), {self.advised_sites} advised"
+        )
+        return "\n".join([header] + [f"  {entry.describe()}" for entry in self.entries])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeavePlan({self.cls.__name__}, wrapped={self.wrapped_sites}, "
+            f"advised={self.advised_sites})"
+        )
 
 
 class WovenInfo:
@@ -53,6 +117,13 @@ class WovenInfo:
 
     def record(self, shadow: JoinPointShadow, advice: Sequence[Advice]) -> None:
         self.joinpoints.append((shadow, tuple(a.name for a in advice)))
+
+    @classmethod
+    def from_plan(cls, plan: WeavePlan) -> "WovenInfo":
+        info = cls()
+        for entry in plan.entries:
+            info.record(entry.shadow, entry.advice)
+        return info
 
     @property
     def advised_sites(self) -> int:
@@ -87,6 +158,14 @@ class Weaver:
             self._advices.extend(aspect.advices())
         # Stable overall ordering by (order, declaration position).
         self._advices.sort(key=lambda a: a.order)
+        #: (class, extra methods) → WeavePlan; the match phase is a pure
+        #: function of the class and this weaver's advice, so one plan
+        #: serves every weave of the same class.
+        self._plans: Dict[Tuple[type, Tuple[str, ...]], WeavePlan] = {}
+        #: (class, extra methods, name) → woven class, so repeated builds
+        #: (e.g. a Platform building the same app twice) return the same
+        #: transformed class instead of re-synthesising it.
+        self._woven: Dict[Tuple[type, Tuple[str, ...], Optional[str]], type] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -98,32 +177,29 @@ class Weaver:
         return [a for a in self._advices if a.applies_to(shadow)]
 
     # ------------------------------------------------------------------
-    def weave_class(
-        self,
-        cls: type,
-        *,
-        methods: Optional[Sequence[str]] = None,
-        name: Optional[str] = None,
-    ) -> type:
-        """Return a woven subclass of ``cls``.
+    # match phase
+    # ------------------------------------------------------------------
+    def plan_class(
+        self, cls: type, *, methods: Optional[Sequence[str]] = None
+    ) -> WeavePlan:
+        """Compute (or fetch from cache) the :class:`WeavePlan` for ``cls``.
 
-        Parameters
-        ----------
-        cls:
-            Class to weave.  Every method reachable on the class (own or
-            inherited) that either carries platform annotation tags or is
-            explicitly listed in ``methods`` becomes a join point shadow.
-        methods:
-            Explicit method names to wrap in addition to tagged ones.
-        name:
-            Name of the generated class; defaults to ``cls.__name__ +
-            "__woven"``.
+        Every method reachable on the class (own or inherited) that
+        either carries platform annotation tags or is explicitly listed
+        in ``methods`` becomes a join point shadow; the plan records the
+        advice each shadow attracts.
         """
         if not isinstance(cls, type):
             raise WeaveError(f"weave_class() expects a class, got {cls!r}")
-        info = WovenInfo()
-        overrides: dict = {}
-        wanted = set(methods or ())
+        wanted = tuple(sorted(set(methods or ())))
+        cached = self._plans.get((cls, wanted))
+        if cached is not None:
+            return cached
+        plan = self._compute_plan(cls, wanted)
+        self._plans[(cls, wanted)] = plan
+        return plan
+
+    def _compute_plan(self, cls: type, wanted: Tuple[str, ...]) -> WeavePlan:
         mro_tags = tuple(f"class:{base.__name__}" for base in cls.__mro__)
 
         # Collect candidate method names across the whole MRO: a method is a
@@ -147,6 +223,7 @@ class Weaver:
                 f"none of the requested methods {sorted(missing)} exist on {cls.__name__}"
             )
 
+        entries: List[PlanEntry] = []
         for attr_name in sorted(candidates):
             func = getattr(cls, attr_name, None)
             if func is None or not callable(func):
@@ -157,26 +234,69 @@ class Weaver:
                 cls=cls,
                 extra_tags=mro_tags,
             )
-            advice = self.matching_advice(shadow)
-            info.record(shadow, advice)
-            overrides[attr_name] = self._make_method_wrapper(func, shadow, advice)
+            advice = tuple(self.matching_advice(shadow))
+            entries.append(PlanEntry(attr_name=attr_name, shadow=shadow, advice=advice))
 
-        if not overrides and (methods or self._advices):
-            # Weaving a class with no matched join points usually means a
-            # pointcut typo; surface it early like AC++ does with a warning
-            # that it did not weave anything.  We only raise when explicit
-            # methods were requested.
-            if methods:
-                raise WeaveError(
-                    f"none of the requested methods {sorted(wanted)} exist on {cls.__name__}"
-                )
+        plan = WeavePlan(cls=cls, entries=tuple(entries))
+        if not entries and self._advices:
+            # Aspects were supplied but the class exposes no join point
+            # shadow at all (no tagged method anywhere in its MRO).  That is
+            # a legal weave, but it usually means the wrong class — or a
+            # class that forgot the platform annotations — was handed to the
+            # weaver, so surface it the way AC++ warns that it did not weave
+            # anything.
+            warnings.warn(
+                f"weaving {cls.__name__} with {len(self._advices)} advice(s) "
+                f"found no join point shadow: {cls.__name__} has no "
+                "annotated (tagged) method and none was requested explicitly",
+                WeaveWarning,
+                stacklevel=3,
+            )
+        return plan
 
+    # ------------------------------------------------------------------
+    # transform phase
+    # ------------------------------------------------------------------
+    def weave_class(
+        self,
+        cls: type,
+        *,
+        methods: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> type:
+        """Return a woven subclass of ``cls`` executing this weaver's plan.
+
+        Parameters
+        ----------
+        cls:
+            Class to weave (see :meth:`plan_class` for shadow selection).
+        methods:
+            Explicit method names to wrap in addition to tagged ones.
+        name:
+            Name of the generated class; defaults to ``cls.__name__ +
+            "__woven"``.
+        """
+        plan = self.plan_class(cls, methods=methods)
+        wanted = tuple(sorted(set(methods or ())))
+        cache_key = (cls, wanted, name)
+        cached = self._woven.get(cache_key)
+        if cached is not None:
+            return cached
+
+        overrides: dict = {
+            entry.attr_name: self._make_method_wrapper(
+                getattr(cls, entry.attr_name), entry.shadow, entry.advice
+            )
+            for entry in plan.entries
+        }
         woven_name = name or f"{cls.__name__}__woven"
         woven = type(woven_name, (cls,), overrides)
-        woven.__aop_woven__ = info
+        woven.__aop_woven__ = WovenInfo.from_plan(plan)
+        woven.__aop_plan__ = plan
         woven.__aop_weaver__ = self
         woven.__module__ = cls.__module__
         woven.__doc__ = cls.__doc__
+        self._woven[cache_key] = woven
         return woven
 
     # ------------------------------------------------------------------
@@ -197,11 +317,14 @@ class Weaver:
     def _make_method_wrapper(
         self, func: Callable, shadow: JoinPointShadow, advice: Sequence[Advice]
     ) -> Callable:
-        dispatch = _build_dispatch(func, shadow, advice, is_method=True)
+        if not advice:
+            wrapper = _make_nop_wrapper(func, is_method=True)
+        else:
+            dispatch = _build_dispatch(func, shadow, advice, is_method=True)
 
-        @functools.wraps(func)
-        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
-            return dispatch(self, args, kwargs)
+            @functools.wraps(func)
+            def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+                return dispatch(self, args, kwargs)
 
         wrapper.__aop_shadow__ = shadow
         wrapper.__aop_advice_names__ = tuple(a.name for a in advice)
@@ -210,11 +333,14 @@ class Weaver:
     def _make_function_wrapper(
         self, func: Callable, shadow: JoinPointShadow, advice: Sequence[Advice]
     ) -> Callable:
-        dispatch = _build_dispatch(func, shadow, advice, is_method=False)
+        if not advice:
+            wrapper = _make_nop_wrapper(func, is_method=False)
+        else:
+            dispatch = _build_dispatch(func, shadow, advice, is_method=False)
 
-        @functools.wraps(func)
-        def wrapper(*args: Any, **kwargs: Any) -> Any:
-            return dispatch(None, args, kwargs)
+            @functools.wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                return dispatch(None, args, kwargs)
 
         wrapper.__aop_shadow__ = shadow
         wrapper.__aop_advice_names__ = tuple(a.name for a in advice)
@@ -224,6 +350,30 @@ class Weaver:
 # ----------------------------------------------------------------------
 # dispatch machinery shared by method and function wrappers
 # ----------------------------------------------------------------------
+
+def _make_nop_wrapper(func: Callable, *, is_method: bool) -> Callable:
+    """Minimal pass-through shell for shadows with no matching advice.
+
+    This is the fast path behind the paper's "Platform NOP" numbers: the
+    wrapper exists (the site *was* transcompiled) but no join point
+    object or advice chain is materialised, so the residual overhead is
+    one extra Python call frame.
+    """
+    if is_method:
+
+        @functools.wraps(func)
+        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+            return func(self, *args, **kwargs)
+
+    else:
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            return func(*args, **kwargs)
+
+    wrapper.__aop_fastpath__ = True
+    return wrapper
+
 
 def _build_dispatch(
     func: Callable,
@@ -275,7 +425,16 @@ def _build_dispatch(
 
 
 def _wrap_around(adv: Advice, jp: JoinPoint, inner: Callable) -> Callable:
-    """Wrap ``inner`` with one level of around advice."""
+    """Wrap ``inner`` with one level of around advice.
+
+    Argument rebinding semantics (pinned by ``tests/unit/test_weaver.py``):
+    calling ``proceed(new_args)`` rebinds ``jp.args``/``jp.kwargs`` for
+    the remainder of the activation, so inner around advice and the
+    ``after*`` advice observe the rebound arguments — matching
+    AspectC++, where mutating ``tjp->arg<i>()`` changes the arguments
+    the join point reports from then on.  Advice that must not perturb
+    the shared join point state should use ``jp.continuation()``.
+    """
 
     def around_call(*args: Any, **kwargs: Any) -> Any:
         if args or kwargs:

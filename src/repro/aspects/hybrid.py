@@ -13,13 +13,6 @@ from typing import List, Optional
 
 from ..aop.advice import after_returning, before
 from ..aop.aspect import Aspect
-from ..aop.pointcut import tagged
-from ..aop.registry import (
-    TAG_FINALIZE,
-    TAG_INITIALIZE,
-    TAG_PROCESSING,
-    TAG_REFRESH,
-)
 from .base import LayerAspect
 from .mpi_aspect import DistributedMemoryAspect
 from .openmp_aspect import SharedMemoryAspect
@@ -65,18 +58,18 @@ class PhaseTraceAspect(Aspect):
         super().__init__()
         self.events: list = sink if sink is not None else []
 
-    @before(tagged(TAG_INITIALIZE))
+    @before("tagged('platform.initialize')")
     def on_initialize(self, jp):
         self.events.append(("initialize", type(jp.target).__name__))
 
-    @before(tagged(TAG_PROCESSING))
+    @before("tagged('platform.processing')")
     def on_processing(self, jp):
         self.events.append(("processing", type(jp.target).__name__))
 
-    @before(tagged(TAG_FINALIZE))
+    @before("tagged('platform.finalize')")
     def on_finalize(self, jp):
         self.events.append(("finalize", type(jp.target).__name__))
 
-    @after_returning(tagged(TAG_REFRESH))
+    @after_returning("tagged('memory.refresh')")
     def on_refresh(self, jp):
         self.events.append(("refresh", bool(jp.result)))

@@ -24,6 +24,11 @@ This module weaves the distributed-memory layer into an application:
 The module also registers every rank's Env and Blocks in the world's
 :class:`~repro.runtime.simmpi.BlockDirectory` (after ``Initialize``),
 which is what lets page fetches name remote Blocks by logical key.
+
+Pointcuts are declared in the textual pointcut language
+(``"tagged('platform.entry')"``), matching the annotation tags of
+:mod:`repro.aop.registry` — the Python analogue of AspectC++'s string
+match expressions.
 """
 
 from __future__ import annotations
@@ -32,8 +37,6 @@ import threading
 from typing import Dict, Set
 
 from ..aop.advice import after_returning, around
-from ..aop.pointcut import tagged
-from ..aop.registry import TAG_ENTRY, TAG_GET_BLOCKS, TAG_INITIALIZE, TAG_REFRESH
 from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.page import PageKey
 from ..runtime.simmpi import MPIWorld
@@ -65,7 +68,7 @@ class DistributedMemoryAspect(LayerAspect):
     # ------------------------------------------------------------------
     # AspectType I — control of the runtime and tasks
     # ------------------------------------------------------------------
-    @around(tagged(TAG_ENTRY), order=0)
+    @around("tagged('platform.entry')", order=0)
     def manage_runtime(self, jp):
         """Initialise the distributed runtime, run the program per rank, finalise."""
         platform = self.platform
@@ -87,7 +90,7 @@ class DistributedMemoryAspect(LayerAspect):
     # ------------------------------------------------------------------
     # Env / Block registration (runs after the DSL built each rank's Env)
     # ------------------------------------------------------------------
-    @after_returning(tagged(TAG_INITIALIZE), order=0)
+    @after_returning("tagged('platform.initialize')", order=0)
     def register_env(self, jp):
         """Register the rank's Env replica and its Blocks with the world."""
         world = self.world
@@ -114,7 +117,7 @@ class DistributedMemoryAspect(LayerAspect):
     # ------------------------------------------------------------------
     # AspectType II — assigning Blocks to tasks
     # ------------------------------------------------------------------
-    @around(tagged(TAG_GET_BLOCKS), order=0)
+    @around("tagged('memory.get_blocks')", order=0)
     def assign_blocks(self, jp):
         """Restrict the Block list to those managed by the caller's rank."""
         blocks = jp.proceed()
@@ -127,7 +130,7 @@ class DistributedMemoryAspect(LayerAspect):
     # ------------------------------------------------------------------
     # AspectType III — communication of data between tasks
     # ------------------------------------------------------------------
-    @around(tagged(TAG_REFRESH), order=0)
+    @around("tagged('memory.refresh')", order=0)
     def exchange_data(self, jp):
         """Collective refresh: agree on success, move pages, prefetch dry-run pages."""
         world = self.world

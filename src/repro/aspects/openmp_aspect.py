@@ -16,6 +16,10 @@ Concretely this module provides:
 * **AspectType III** — intentionally absent (shared memory).  The only
   refresh involvement is making the buffer swap happen exactly once per
   team step (an OpenMP ``single`` with its implicit barriers).
+
+Pointcuts are declared in the textual pointcut language
+(``"tagged('platform.processing')"``), the Python analogue of
+AspectC++'s string match expressions.
 """
 
 from __future__ import annotations
@@ -23,8 +27,6 @@ from __future__ import annotations
 from typing import Optional
 
 from ..aop.advice import around
-from ..aop.pointcut import tagged
-from ..aop.registry import TAG_GET_BLOCKS, TAG_PROCESSING, TAG_REFRESH
 from ..runtime.simomp import ThreadTeam
 from ..runtime.task import current_task
 from ..runtime.tracing import global_trace
@@ -56,7 +58,7 @@ class SharedMemoryAspect(LayerAspect):
     # ------------------------------------------------------------------
     # AspectType I — control of the runtime and tasks
     # ------------------------------------------------------------------
-    @around(tagged(TAG_PROCESSING), order=0)
+    @around("tagged('platform.processing')", order=0)
     def start_tasks(self, jp):
         """Spawn the shared-memory task team and run Processing on every member."""
         rank = current_task().mpi_rank
@@ -72,7 +74,7 @@ class SharedMemoryAspect(LayerAspect):
     # ------------------------------------------------------------------
     # AspectType II — assigning Blocks to tasks
     # ------------------------------------------------------------------
-    @around(tagged(TAG_GET_BLOCKS), order=0)
+    @around("tagged('memory.get_blocks')", order=0)
     def assign_blocks(self, jp):
         """Divide the Blocks allocated by the upper layer among the team."""
         blocks = jp.proceed()
@@ -85,7 +87,7 @@ class SharedMemoryAspect(LayerAspect):
     # ------------------------------------------------------------------
     # Refresh coordination (no data communication: shared memory)
     # ------------------------------------------------------------------
-    @around(tagged(TAG_REFRESH), order=0)
+    @around("tagged('memory.refresh')", order=0)
     def synchronise_refresh(self, jp):
         """Perform the per-step refresh exactly once per team (OpenMP ``single``)."""
         team = self.team()

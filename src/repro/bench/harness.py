@@ -213,14 +213,12 @@ def run_platform(
     machine: MachineSpec = OAKBRIDGE_CX_LIKE,
 ) -> PlatformRun:
     """Run a workload on the platform under one configuration."""
-    platform = Platform(
-        aspects=aspects,
-        mmat=mmat,
-        env_pool_bytes=pool_bytes,
-        machine=machine,
-        transcompile=transcompile,
-    )
-    return platform.run(work.app_cls, config=dict(work.config))
+    builder = Platform.builder().mmat(mmat).pool_bytes(pool_bytes).machine(machine)
+    if aspects is not None:
+        builder.nop().aspects(aspects)
+    if transcompile is not None:
+        builder.transcompile(transcompile)
+    return builder.run(work.app_cls, config=dict(work.config))
 
 
 def configuration_aspects(label: str, *, mpi: int = 1, omp: int = 1):

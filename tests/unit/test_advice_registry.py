@@ -41,7 +41,29 @@ class TestAdvice:
 
     def test_decorator_requires_pointcut(self):
         with pytest.raises(AdviceSignatureError):
+            before(42)(lambda self, jp: None)
+
+    def test_decorator_rejects_malformed_pointcut_string(self):
+        from repro.aop import PointcutSyntaxError
+
+        with pytest.raises(PointcutSyntaxError):
             before("not a pointcut")(lambda self, jp: None)
+
+    def test_decorator_accepts_pointcut_string(self):
+        func = before("tagged('platform.kernel')")(lambda self, jp: None)
+        (kind, pointcut, order) = func.__aop_advice__[0]
+        assert kind is AdviceKind.BEFORE
+        shadow = shadow_of(lambda: None, extra_tags=("platform.kernel",))
+        assert pointcut.matches(shadow)
+
+    def test_advice_dataclass_accepts_pointcut_string(self):
+        advice = Advice(
+            kind=AdviceKind.BEFORE,
+            pointcut="tagged('platform.kernel')",
+            body=lambda jp: None,
+        )
+        shadow = shadow_of(lambda: None, extra_tags=("platform.kernel",))
+        assert advice.applies_to(shadow)
 
     def test_decorator_stacks_declarations(self):
         @before(tagged("a"))

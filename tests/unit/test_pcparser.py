@@ -1,0 +1,286 @@
+"""Unit tests for the textual pointcut language (tokenizer + parser).
+
+Covers grammar round-trips, operator precedence (`!` > `&&` > `||`),
+glob matching in named(), and syntax-error positions reported by
+PointcutSyntaxError.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop import (
+    Aspect,
+    JoinPointKind,
+    PointcutSyntaxError,
+    Weaver,
+    annotate,
+    as_pointcut,
+    before,
+    parse_pointcut,
+    tagged,
+)
+from repro.aop.joinpoint import JoinPointShadow
+
+
+def make_shadow(
+    name="refresh",
+    cls="Env",
+    module="repro.memory.env",
+    kind=JoinPointKind.EXECUTION,
+    tags=(),
+):
+    return JoinPointShadow(kind=kind, module=module, cls=cls, name=name, tags=frozenset(tags))
+
+
+class TestPrimitives:
+    def test_execution_with_pattern(self):
+        pc = parse_pointcut("execution(Env.refresh)")
+        assert pc.matches(make_shadow())
+        assert not pc.matches(make_shadow(name="get_blocks"))
+
+    def test_execution_quoted_pattern(self):
+        assert parse_pointcut("execution('Env.refresh')").matches(make_shadow())
+        assert parse_pointcut('execution("Env.refresh")').matches(make_shadow())
+
+    def test_bare_execution_matches_any_execution(self):
+        pc = parse_pointcut("execution()")
+        assert pc.matches(make_shadow())
+        assert pc.matches(make_shadow(name="anything", cls="Other"))
+        assert not pc.matches(make_shadow(kind=JoinPointKind.CALL))
+
+    def test_bare_call_matches_any_call(self):
+        pc = parse_pointcut("call()")
+        assert pc.matches(make_shadow(kind=JoinPointKind.CALL))
+        assert not pc.matches(make_shadow())
+
+    def test_call_with_pattern_filters_kind(self):
+        pc = parse_pointcut("call(Env.refresh)")
+        assert pc.matches(make_shadow(kind=JoinPointKind.CALL))
+        assert not pc.matches(make_shadow())
+
+    def test_named_glob(self):
+        pc = parse_pointcut("named('Proc*')")
+        assert pc.matches(make_shadow(name="Processing", cls=None))
+        assert pc.matches(make_shadow(name="ProcessData"))
+        assert not pc.matches(make_shadow(name="Initialize"))
+
+    def test_named_class_glob(self):
+        pc = parse_pointcut("named('*Env.refresh')")
+        assert pc.matches(make_shadow(cls="MyEnv"))
+        assert not pc.matches(make_shadow(cls="Other"))
+
+    def test_within(self):
+        pc = parse_pointcut("within('repro.memory.*')")
+        assert pc.matches(make_shadow())
+        assert not pc.matches(make_shadow(module="repro.apps.jacobi"))
+
+    def test_tagged_exact(self):
+        pc = parse_pointcut("tagged('memory.refresh')")
+        assert pc.matches(make_shadow(tags={"memory.refresh"}))
+        assert not pc.matches(make_shadow(tags={"memory.get_blocks"}))
+
+    def test_tagged_suffix_shorthand(self):
+        # 'kernel' matches the platform tag 'platform.kernel' by its last
+        # dotted component, the way AC++ match expressions elide namespaces.
+        pc = parse_pointcut("tagged('kernel')")
+        assert pc.matches(make_shadow(tags={"platform.kernel"}))
+        assert not pc.matches(make_shadow(tags={"platform.entry"}))
+
+    def test_tagged_multiple_requires_all(self):
+        pc = parse_pointcut("tagged('a', 'b')")
+        assert pc.matches(make_shadow(tags={"a", "b"}))
+        assert not pc.matches(make_shadow(tags={"a"}))
+
+    def test_subtype_of_by_name(self):
+        pc = parse_pointcut("subtype_of(DslTarget)")
+        assert pc.matches(make_shadow(tags={"class:DslTarget", "class:JacobiSGrid"}))
+        assert not pc.matches(make_shadow(tags={"class:Unrelated"}))
+
+    def test_ref_resolves_platform_pointcut(self):
+        pc = parse_pointcut("ref('platform.entry')")
+        assert pc.matches(make_shadow(tags={"platform.entry"}))
+        assert not pc.matches(make_shadow(tags={"platform.finalize"}))
+
+    def test_any_and_none(self):
+        assert parse_pointcut("any()").matches(make_shadow())
+        assert not parse_pointcut("none()").matches(make_shadow())
+
+    def test_whitespace_is_insignificant(self):
+        pc = parse_pointcut("  execution( Env.refresh )   &&\n tagged( 'memory.refresh' ) ")
+        assert pc.matches(make_shadow(tags={"memory.refresh"}))
+
+
+class TestPrecedence:
+    shadow_a = staticmethod(lambda: make_shadow(tags={"a"}))
+
+    def test_not_binds_tighter_than_and(self):
+        # !tagged(a) && tagged(b)  ==  (!tagged(a)) && tagged(b)
+        pc = parse_pointcut("!tagged('a') && tagged('b')")
+        assert pc.matches(make_shadow(tags={"b"}))
+        assert not pc.matches(make_shadow(tags={"a", "b"}))
+
+    def test_and_binds_tighter_than_or(self):
+        # tagged(a) || tagged(b) && tagged(c)  ==  a || (b && c)
+        pc = parse_pointcut("tagged('a') || tagged('b') && tagged('c')")
+        assert pc.matches(make_shadow(tags={"a"}))
+        assert pc.matches(make_shadow(tags={"b", "c"}))
+        assert not pc.matches(make_shadow(tags={"b"}))
+
+    def test_parentheses_override(self):
+        pc = parse_pointcut("(tagged('a') || tagged('b')) && tagged('c')")
+        assert pc.matches(make_shadow(tags={"a", "c"}))
+        assert not pc.matches(make_shadow(tags={"a"}))
+
+    def test_double_negation(self):
+        pc = parse_pointcut("!!tagged('a')")
+        assert pc.matches(make_shadow(tags={"a"}))
+        assert not pc.matches(make_shadow(tags={"b"}))
+
+    def test_not_of_group(self):
+        pc = parse_pointcut("!(tagged('a') && tagged('b'))")
+        assert pc.matches(make_shadow(tags={"a"}))
+        assert not pc.matches(make_shadow(tags={"a", "b"}))
+
+
+class TestRoundTrips:
+    """A parsed pointcut's description must itself parse to an equivalent
+    pointcut (the textual language is closed under its own output)."""
+
+    SHADOWS = [
+        make_shadow(),
+        make_shadow(kind=JoinPointKind.CALL),
+        make_shadow(name="Processing", cls="JacobiSGrid", module="repro.apps.jacobi"),
+        make_shadow(tags={"platform.kernel"}),
+        make_shadow(tags={"memory.refresh", "class:DslTarget"}),
+        make_shadow(tags={"a", "b"}),
+    ]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "execution()",
+            "execution(Env.refresh)",
+            "call()",
+            "named(Proc*)",
+            "within(repro.memory.*)",
+            "tagged(kernel)",
+            "tagged(a, b)",
+            "subtype_of(DslTarget)",
+            "execution() && tagged('kernel')",
+            "!tagged('a') && (named('Proc*') || within('repro.apps*'))",
+            "execution(Env.*) || call(Env.*)",
+        ],
+    )
+    def test_description_round_trips(self, text):
+        first = parse_pointcut(text)
+        second = parse_pointcut(first.description)
+        for shadow in self.SHADOWS:
+            assert first.matches(shadow) == second.matches(shadow), (
+                text,
+                first.description,
+                shadow,
+            )
+
+
+class TestSyntaxErrors:
+    def assert_error_at(self, text, position, match=None):
+        with pytest.raises(PointcutSyntaxError) as excinfo:
+            parse_pointcut(text)
+        error = excinfo.value
+        assert error.text == text
+        assert error.position == position, str(error)
+        if match:
+            assert match in str(error)
+        return error
+
+    def test_empty_expression(self):
+        self.assert_error_at("", 0, "empty pointcut")
+        self.assert_error_at("   ", 3, "empty pointcut")
+
+    def test_unknown_primitive_position(self):
+        self.assert_error_at("tagged('a') && frobnicate('b')", 15, "unknown pointcut primitive")
+
+    def test_single_ampersand(self):
+        self.assert_error_at("tagged('a') & tagged('b')", 12, "use '&&'")
+
+    def test_single_pipe(self):
+        self.assert_error_at("tagged('a') | tagged('b')", 12, "use '||'")
+
+    def test_unterminated_string(self):
+        self.assert_error_at("tagged('a", 7, "unterminated string")
+
+    def test_missing_closing_paren(self):
+        self.assert_error_at("(tagged('a') && tagged('b')", 27, "')'")
+
+    def test_missing_argument_paren(self):
+        self.assert_error_at("execution(Env.refresh", 21)
+
+    def test_trailing_garbage(self):
+        self.assert_error_at("tagged('a') tagged('b')", 12)
+
+    def test_dangling_operator(self):
+        self.assert_error_at("tagged('a') &&", 14)
+
+    def test_primitive_without_parens(self):
+        self.assert_error_at("execution", 9, "expected '('")
+
+    def test_wrong_arity_reports_primitive_position(self):
+        self.assert_error_at("within()", 0, "exactly one argument")
+        self.assert_error_at("execution(a, b)", 0, "at most one pattern")
+        self.assert_error_at("any('x')", 0, "takes no arguments")
+
+    def test_bad_pattern_inside_primitive(self):
+        # The combinator-level error is re-raised with position info.
+        error = self.assert_error_at("execution('Env.')", 0)
+        assert "empty member name" in str(error)
+
+    def test_caret_rendering(self):
+        with pytest.raises(PointcutSyntaxError) as excinfo:
+            parse_pointcut("tagged('a') & tagged('b')")
+        lines = str(excinfo.value).splitlines()
+        assert lines[1].strip() == "tagged('a') & tagged('b')"
+        assert lines[2].index("^") - 2 == 12  # two-space indent before text
+
+    def test_non_string_input(self):
+        with pytest.raises(PointcutSyntaxError):
+            parse_pointcut(42)
+
+
+class TestCoercion:
+    def test_as_pointcut_passthrough(self):
+        pc = tagged("x")
+        assert as_pointcut(pc) is pc
+
+    def test_as_pointcut_parses_strings(self):
+        assert as_pointcut("tagged('x')").matches(make_shadow(tags={"x"}))
+
+    def test_as_pointcut_rejects_other_types(self):
+        with pytest.raises(PointcutSyntaxError):
+            as_pointcut(3.14)
+
+    def test_aspect_with_string_pointcuts_weaves(self):
+        @annotate("test.cls")
+        class Target:
+            @annotate("test.step")
+            def step(self, value):
+                return value * 2
+
+        events = []
+
+        class StringAspect(Aspect):
+            @before("execution() && tagged('test.step')")
+            def record(self, jp):
+                events.append(jp.args)
+
+        woven = Weaver([StringAspect()]).weave_class(Target)
+        assert woven().step(4) == 8
+        assert events == [(4,)]
+
+    def test_bad_string_fails_at_declaration_time(self):
+        with pytest.raises(PointcutSyntaxError):
+
+            class Broken(Aspect):
+                @before("tagged('unclosed")
+                def advice(self, jp):
+                    pass

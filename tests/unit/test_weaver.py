@@ -1,13 +1,18 @@
-"""Unit tests for the weaver: advice dispatch order, around chains, NOP weaves."""
+"""Unit tests for the weaver: advice dispatch order, around chains, NOP weaves,
+weave plans and the around-advice argument-rebinding semantics."""
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
 from repro.aop import (
     Aspect,
     AspectDefinitionError,
+    WeavePlan,
     WeaveError,
+    WeaveWarning,
     Weaver,
     after,
     after_returning,
@@ -233,6 +238,184 @@ class TestExceptionAdvice:
         with pytest.raises(ValueError):
             woven().step(1)
         assert events == []
+
+
+class TestWeavePlans:
+    def test_plan_is_inspectable(self):
+        weaver = Weaver([Doubler()])
+        plan = weaver.plan_class(Target)
+        assert isinstance(plan, WeavePlan)
+        assert plan.cls is Target
+        assert plan.wrapped_sites == 1
+        assert plan.advised_sites == 1
+        (entry,) = plan.entries
+        assert entry.attr_name == "step"
+        assert entry.advice[0].name == "Doubler.double"
+        assert "step" in plan.describe()
+
+    def test_plan_cached_per_class_and_weaver(self):
+        weaver = Weaver([Doubler()])
+        assert weaver.plan_class(Target) is weaver.plan_class(Target)
+        # A different weaver computes its own plan.
+        assert Weaver([]).plan_class(Target) is not weaver.plan_class(Target)
+
+    def test_plan_distinguishes_explicit_methods(self):
+        weaver = Weaver([])
+        bare = weaver.plan_class(Target)
+        extended = weaver.plan_class(Target, methods=["untagged"])
+        assert bare is not extended
+        assert extended.wrapped_sites == bare.wrapped_sites + 1
+
+    def test_woven_class_carries_its_plan(self):
+        weaver = Weaver([Doubler()])
+        woven = weaver.weave_class(Target)
+        assert woven.__aop_plan__ is weaver.plan_class(Target)
+
+    def test_repeated_weaves_reuse_the_woven_class(self):
+        weaver = Weaver([Doubler()])
+        assert weaver.weave_class(Target) is weaver.weave_class(Target)
+        # Distinct names are distinct classes.
+        assert weaver.weave_class(Target, name="Other") is not weaver.weave_class(Target)
+
+    def test_unadvised_shadow_uses_fast_path(self):
+        woven = Weaver([]).weave_class(Target)
+        wrapper = woven.__dict__["step"]
+        assert getattr(wrapper, "__aop_fastpath__", False)
+        assert wrapper.__aop_advice_names__ == ()
+        assert woven().step(3) == 6  # behaviour unchanged
+
+    def test_advised_shadow_does_not_use_fast_path(self):
+        woven = Weaver([Doubler()]).weave_class(Target)
+        wrapper = woven.__dict__["step"]
+        assert not getattr(wrapper, "__aop_fastpath__", False)
+
+    def test_unadvised_function_uses_fast_path(self):
+        woven = Weaver([]).weave_function(lambda x: x + 1, tags=("t",))
+        assert getattr(woven, "__aop_fastpath__", False)
+        assert woven(1) == 2
+
+    def test_no_shadow_with_aspects_warns(self):
+        class NoShadows:
+            def plain(self):
+                return "ok"
+
+        with pytest.warns(WeaveWarning, match="no join point shadow"):
+            woven = Weaver([Doubler()]).weave_class(NoShadows)
+        assert woven().plain() == "ok"  # weave still succeeds
+
+    def test_nop_weave_of_shadowless_class_does_not_warn(self):
+        class NoShadows:
+            def plain(self):
+                return "ok"
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", WeaveWarning)
+            Weaver([]).weave_class(NoShadows)
+
+
+class TestAroundArgumentRebinding:
+    """Pins the rebinding semantics of ``proceed(new_args)``: the rebound
+    arguments stick to the join point for the rest of the activation, so
+    inner around advice and ``after*`` advice observe them (AspectC++'s
+    ``tjp->arg<i>()`` behaves the same way).  ``continuation()`` is the
+    escape hatch that leaves the join point untouched."""
+
+    def test_after_advice_observes_rebound_args(self):
+        seen = []
+
+        class Rebind(Aspect):
+            order = 1
+
+            @around(tagged("test.step"))
+            def rebind(self, jp):
+                return jp.proceed(jp.args[0] + 10)
+
+        class Observe(Aspect):
+            order = 2
+
+            @after(tagged("test.step"))
+            def observe(self, jp):
+                seen.append(jp.args)
+
+        instance = Weaver([Rebind(), Observe()]).weave_class(Target)()
+        assert instance.step(1) == 22
+        assert seen == [(11,)]
+
+    def test_inner_around_observes_rebound_args(self):
+        seen = []
+
+        class Outer(Aspect):
+            order = 1
+
+            @around(tagged("test.step"))
+            def outer(self, jp):
+                return jp.proceed(99)
+
+        class Inner(Aspect):
+            order = 2
+
+            @around(tagged("test.step"))
+            def inner(self, jp):
+                seen.append(jp.args)
+                return jp.proceed()
+
+        assert Weaver([Outer(), Inner()]).weave_class(Target)().step(1) == 198
+        assert seen == [(99,)]
+
+    def test_before_advice_observes_original_args(self):
+        seen = []
+
+        class Observe(Aspect):
+            order = 1
+
+            @before(tagged("test.step"))
+            def observe(self, jp):
+                seen.append(jp.args)
+
+        class Rebind(Aspect):
+            order = 2
+
+            @around(tagged("test.step"))
+            def rebind(self, jp):
+                return jp.proceed(42)
+
+        Weaver([Observe(), Rebind()]).weave_class(Target)().step(1)
+        assert seen == [(1,)]  # before advice runs before any around rebinding
+
+    def test_proceed_without_args_keeps_rebinding(self):
+        """A later bare proceed() re-forwards the rebound arguments."""
+
+        class RebindTwice(Aspect):
+            @around(tagged("test.step"))
+            def rebind(self, jp):
+                jp.proceed(7)
+                return jp.proceed()  # forwards the rebound 7, not the original 1
+
+        instance = Weaver([RebindTwice()]).weave_class(Target)()
+        assert instance.step(1) == 14
+        assert instance.log == [("body", 7), ("body", 7)]
+
+    def test_continuation_does_not_rebind(self):
+        seen = []
+
+        class Continue(Aspect):
+            order = 1
+
+            @around(tagged("test.step"))
+            def run_elsewhere(self, jp):
+                body = jp.continuation()
+                return body(5)  # bypasses jp.args entirely
+
+        class Observe(Aspect):
+            order = 2
+
+            @after(tagged("test.step"))
+            def observe(self, jp):
+                seen.append(jp.args)
+
+        instance = Weaver([Continue(), Observe()]).weave_class(Target)()
+        assert instance.step(1) == 10
+        assert seen == [(1,)]  # the join point still reports the original args
 
 
 class TestFunctionWeaving:
