@@ -74,9 +74,17 @@ def main() -> None:
               .run(JacobiSGrid, config=CONFIG))
     describe("MPI x2 + OpenMP x2", hybrid)
 
+    # 5. Same MPI configuration on the "process" execution backend: each
+    #    rank is a real forked OS process (true parallelism, measured
+    #    wall-clock), selected without touching the application at all.
+    procs = Platform.preset("mpi", mpi=2, backend="process", mmat=True).run(
+        JacobiSGrid, config=CONFIG)
+    describe("MPI x2 (processes)", procs)
+
     # All runs compute the same answer (rank-local data compared where owned).
     reference = serial.result
-    for label, run in (("OpenMP", omp), ("MPI", mpi), ("hybrid", hybrid)):
+    for label, run in (("OpenMP", omp), ("MPI", mpi), ("hybrid", hybrid),
+                       ("processes", procs)):
         mask = ~np.isnan(run.result)
         assert np.allclose(run.result[mask], reference[mask], atol=1e-10), label
     print("\nAll parallel configurations match the serial result.")

@@ -27,7 +27,14 @@ from .aspects import (
     openmp_aspects,
 )
 from .memory import Env
-from .runtime import CostModel, MachineSpec, OAKBRIDGE_CX_LIKE
+from .runtime import (
+    CostModel,
+    MachineSpec,
+    OAKBRIDGE_CX_LIKE,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 __version__ = "0.1.0"
 
@@ -48,5 +55,8 @@ __all__ = [
     "CostModel",
     "MachineSpec",
     "OAKBRIDGE_CX_LIKE",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "__version__",
 ]

@@ -59,6 +59,10 @@ class PlatformRun:
     #: Whether the run went through the weaver ("Platform NOP" and up);
     #: False for the plain "Platform" (serial) configuration.
     transcompiled: bool = False
+    #: Name of the execution backend that ran the distributed layer
+    #: ("serial" | "threads" | "process" | custom); None when no
+    #: distributed-memory world was created.
+    backend: Optional[str] = None
 
     @property
     def result(self) -> Any:
@@ -75,6 +79,8 @@ class PlatformRun:
         layers = ",".join(f"{k}={v}" for k, v in sorted(self.layers.items()))
         if not layers:
             layers = "nop" if self.transcompiled else "serial"
+        if self.backend is not None:
+            layers += f" backend={self.backend}"
         tasks = max(len(self.counters), 1)
         steps = sum(c.steps for c in self.counters.values())
         updates = sum(c.updates for c in self.counters.values())
@@ -117,6 +123,7 @@ class PlatformBuilder:
         self._pool_bytes: Optional[int] = None
         self._machine: Optional[MachineSpec] = None
         self._transcompile: Optional[bool] = None
+        self._backend: Optional[str] = None
 
     # -- layers ---------------------------------------------------------
     def _factories(self) -> List[Any]:
@@ -179,6 +186,18 @@ class PlatformBuilder:
         self._transcompile = bool(enabled)
         return self
 
+    def backend(self, name: str) -> "PlatformBuilder":
+        """Execution backend for the distributed-memory layer.
+
+        ``"serial"`` runs inline, ``"threads"`` is the simulated runtime
+        (default), ``"process"`` forks one real process per rank; custom
+        backends registered via
+        :func:`repro.runtime.backends.register_backend` are accepted by
+        name.  The name is validated at :meth:`build` time.
+        """
+        self._backend = str(name)
+        return self
+
     # -- terminal -------------------------------------------------------
     def build(self) -> "Platform":
         """Materialise the configured :class:`Platform` (weaves Env).
@@ -193,6 +212,8 @@ class PlatformBuilder:
             kwargs["machine"] = self._machine
         if self._transcompile is not None:
             kwargs["transcompile"] = self._transcompile
+        if self._backend is not None:
+            kwargs["backend"] = self._backend
         aspects = None
         if self._aspect_factories is not None:
             aspects = [factory() for factory in self._aspect_factories]
@@ -262,6 +283,11 @@ class Platform:
     machine:
         Machine description used by benchmarks' cost model (not used for
         functional execution).
+    backend:
+        Execution backend the distributed-memory layer should use
+        (``"serial"`` | ``"threads"`` | ``"process"`` | a registered
+        custom backend).  ``None`` lets each layer aspect decide (the
+        default is the ``threads`` simulation).
     """
 
     def __init__(
@@ -272,9 +298,18 @@ class Platform:
         env_pool_bytes: int = 64 * 1024 * 1024,
         machine: MachineSpec = OAKBRIDGE_CX_LIKE,
         transcompile: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if transcompile is None:
             transcompile = aspects is not None
+        if backend is not None:
+            from ..runtime.backends import BackendError, get_backend
+
+            try:
+                get_backend(backend)
+            except BackendError as exc:
+                raise ValueError(str(exc)) from None
+        self.backend = backend
         self.transcompile = transcompile
         self.aspects: List[Aspect] = list(aspects or [])
         self.mmat_enabled = bool(mmat)
@@ -314,6 +349,9 @@ class Platform:
         mmat: bool = False,
         pool_bytes: Optional[int] = None,
         machine: Optional[MachineSpec] = None,
+        backend: Optional[str] = None,
+        mpi: Optional[int] = None,
+        omp: Optional[int] = None,
     ) -> "Platform":
         """Build one of the paper's named configurations (Fig. 3).
 
@@ -324,6 +362,11 @@ class Platform:
         ``omp``      shared-memory layer, ``threads`` threads
         ``hybrid``   both layers, ``ranks`` × ``threads`` tasks
         ===========  ====================================================
+
+        ``mpi``/``omp`` are layer-named aliases of ``ranks``/``threads``
+        (``Platform.preset("mpi", mpi=2)``), and ``backend`` selects the
+        execution backend of the distributed layer
+        (``Platform.preset("mpi", mpi=2, backend="process")``).
         """
         configure = PRESETS.get(name)
         if configure is None:
@@ -331,11 +374,17 @@ class Platform:
                 f"unknown platform preset {name!r} "
                 f"(expected one of: {', '.join(sorted(PRESETS))})"
             )
+        if mpi is not None:
+            ranks = mpi
+        if omp is not None:
+            threads = omp
         builder = cls.builder().mmat(mmat)
         if pool_bytes is not None:
             builder.pool_bytes(pool_bytes)
         if machine is not None:
             builder.machine(machine)
+        if backend is not None:
+            builder.backend(backend)
         configure(builder, int(ranks), int(threads))
         return builder.build()
 
@@ -415,9 +464,13 @@ class Platform:
         env_stats = app.env.stats if app.env is not None else None
         memory = app.env.memory_report() if app.env is not None else {}
         network = {}
+        backend_name = None
         world = self.context.get("mpi_world")
         if world is not None:
+            # Every backend's world exposes the same NetworkStats keys, so
+            # run.network reads uniformly across serial/threads/process.
             network = world.traffic_summary()
+            backend_name = getattr(world, "backend_name", None)
         return PlatformRun(
             app=app,
             elapsed=elapsed,
@@ -427,4 +480,5 @@ class Platform:
             layers=self.layer_parallelism(),
             memory=memory,
             transcompiled=self.transcompile,
+            backend=backend_name,
         )

@@ -20,9 +20,13 @@ from .openmp_aspect import SharedMemoryAspect
 __all__ = ["hybrid_aspects", "mpi_aspects", "openmp_aspects", "PhaseTraceAspect"]
 
 
-def mpi_aspects(processes: int) -> List[LayerAspect]:
-    """Aspect stack for a distributed-memory-only run ("Platform MPI")."""
-    return [DistributedMemoryAspect(processes=processes)]
+def mpi_aspects(processes: int, *, backend: Optional[str] = None) -> List[LayerAspect]:
+    """Aspect stack for a distributed-memory-only run ("Platform MPI").
+
+    ``backend`` picks the execution backend of the layer ("serial" |
+    "threads" | "process"); None defers to the Platform's choice.
+    """
+    return [DistributedMemoryAspect(processes=processes, backend=backend)]
 
 
 def openmp_aspects(threads: int) -> List[LayerAspect]:
@@ -30,16 +34,19 @@ def openmp_aspects(threads: int) -> List[LayerAspect]:
     return [SharedMemoryAspect(threads=threads)]
 
 
-def hybrid_aspects(processes: int, threads: int) -> List[LayerAspect]:
+def hybrid_aspects(
+    processes: int, threads: int, *, backend: Optional[str] = None
+) -> List[LayerAspect]:
     """Aspect stack for a hybrid run ("Platform MPI+OMP").
 
     Order matters only through each aspect's ``order`` attribute (the
     shared-memory module is woven *outside* the distributed-memory one);
-    the list order is purely cosmetic.
+    the list order is purely cosmetic.  ``backend`` selects the
+    execution backend of the distributed-memory layer.
     """
     return [
         SharedMemoryAspect(threads=threads),
-        DistributedMemoryAspect(processes=processes),
+        DistributedMemoryAspect(processes=processes, backend=backend),
     ]
 
 

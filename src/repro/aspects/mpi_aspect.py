@@ -39,7 +39,8 @@ from typing import Dict, Set
 from ..aop.advice import after_returning, around
 from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.page import PageKey
-from ..runtime.simmpi import MPIWorld
+from ..runtime.backends import DEFAULT_BACKEND, get_backend
+from ..runtime.backends.base import ExecutionWorld
 from ..runtime.task import current_task
 from ..runtime.tracing import global_trace
 from .base import LayerAspect
@@ -48,7 +49,14 @@ __all__ = ["DistributedMemoryAspect"]
 
 
 class DistributedMemoryAspect(LayerAspect):
-    """Aspect module managing the distributed-memory (MPI-like) layer."""
+    """Aspect module managing the distributed-memory (MPI-like) layer.
+
+    The runtime itself is pluggable: ``backend`` selects an execution
+    backend from :mod:`repro.runtime.backends` (``serial`` | ``threads``
+    | ``process`` | any registered custom backend).  When left unset the
+    aspect falls back to the Platform's configured backend and finally
+    to the default ``threads`` simulation.
+    """
 
     layer = "mpi"
     #: Precedence: *inside* the shared-memory aspect (see aspects/__init__),
@@ -56,14 +64,25 @@ class DistributedMemoryAspect(LayerAspect):
     #: collective refresh protocol.
     order = 20
 
-    def __init__(self, processes: int = 1, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self, processes: int = 1, *, timeout: float = 60.0, backend: str | None = None
+    ) -> None:
         super().__init__(parallelism=processes)
         self.timeout = timeout
-        self.world: MPIWorld | None = None
+        self.backend_name = backend
+        self.world: ExecutionWorld | None = None
         #: Dry-run record: rank -> set of local PageKeys that had to be
         #: fetched at least once; prefetched after every successful refresh.
         self._dry_run: Dict[int, Set[PageKey]] = {}
         self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def resolve_backend_name(self) -> str:
+        """The backend this aspect will use: own setting, Platform's, default."""
+        if self.backend_name:
+            return self.backend_name
+        platform_backend = getattr(self.platform, "backend", None)
+        return platform_backend or DEFAULT_BACKEND
 
     # ------------------------------------------------------------------
     # AspectType I — control of the runtime and tasks
@@ -72,7 +91,8 @@ class DistributedMemoryAspect(LayerAspect):
     def manage_runtime(self, jp):
         """Initialise the distributed runtime, run the program per rank, finalise."""
         platform = self.platform
-        world = MPIWorld(self.parallelism, timeout=self.timeout)
+        backend = get_backend(self.resolve_backend_name())
+        world = backend.create_world(self.parallelism, timeout=self.timeout)
         self.world = world
         self._dry_run = {rank: set() for rank in range(world.size)}
         if platform is not None:
@@ -80,9 +100,12 @@ class DistributedMemoryAspect(LayerAspect):
         omp_threads = platform.parallelism_of("omp") if platform is not None else 1
         entry = jp.continuation()
 
-        results = world.run_spmd(lambda _ctx: entry(), omp_threads=omp_threads)
-
-        world.finalize()
+        try:
+            results = world.run_spmd(lambda _ctx: entry(), omp_threads=omp_threads)
+        finally:
+            # Finalise on failure too: an un-finalised world would keep
+            # every rank's Env replica alive until the next run.
+            world.finalize()
         # The "result" of the program is rank 0's application instance,
         # mirroring how the paper's benchmarks report from process 0.
         return results[0].value
@@ -109,10 +132,11 @@ class DistributedMemoryAspect(LayerAspect):
                 continue
             owns = isinstance(block, DataBlock) and not isinstance(block, BufferOnlyBlock)
             owns = owns and block.dm_tid == rank * omp_threads
-            world.directory.register(logical_key, rank, block.block_id, owner=owns)
+            world.register_block(logical_key, rank, block.block_id, owner=owns)
         # Every rank must finish registering before any rank starts
-        # computing (a fetch may target any rank from the first step).
-        world.network.barrier()
+        # computing (a fetch may target any rank from the first step);
+        # backends without a shared directory also exchange entries here.
+        world.commit_registration()
 
     # ------------------------------------------------------------------
     # AspectType II — assigning Blocks to tasks
@@ -142,7 +166,7 @@ class DistributedMemoryAspect(LayerAspect):
         trace = global_trace().for_task()
 
         local_ok = not env.missing_pages
-        global_ok = world.network.allreduce_and(local_ok)
+        global_ok = world.allreduce_and(local_ok)
         trace.collectives += 1
 
         if not global_ok:
@@ -158,13 +182,13 @@ class DistributedMemoryAspect(LayerAspect):
             with self._lock:
                 self._dry_run.setdefault(rank, set()).update(needed)
             self._fetch_pages(env, rank, needed, trace)
-            world.network.barrier()
+            world.barrier()
             trace.collectives += 1
             return False
 
         # Every rank can finish the step: swap buffers (unless warm-up) …
         result = jp.proceed()
-        world.network.barrier()
+        world.barrier()
         trace.collectives += 1
         # … then use the Dry-run record to prefetch, with the owners' new
         # data, every page this rank is known to need for the next step.

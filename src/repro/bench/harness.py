@@ -211,28 +211,37 @@ def run_platform(
     transcompile: Optional[bool] = None,
     pool_bytes: int = 32 * 1024 * 1024,
     machine: MachineSpec = OAKBRIDGE_CX_LIKE,
+    backend: Optional[str] = None,
 ) -> PlatformRun:
-    """Run a workload on the platform under one configuration."""
+    """Run a workload on the platform under one configuration.
+
+    ``backend`` selects the execution backend of the distributed-memory
+    layer (None keeps each aspect's own choice / the default).
+    """
     builder = Platform.builder().mmat(mmat).pool_bytes(pool_bytes).machine(machine)
     if aspects is not None:
         builder.nop().aspects(aspects)
     if transcompile is not None:
         builder.transcompile(transcompile)
+    if backend is not None:
+        builder.backend(backend)
     return builder.run(work.app_cls, config=dict(work.config))
 
 
-def configuration_aspects(label: str, *, mpi: int = 1, omp: int = 1):
+def configuration_aspects(
+    label: str, *, mpi: int = 1, omp: int = 1, backend: Optional[str] = None
+):
     """Aspect stack for a configuration label ('serial'|'nop'|'mpi'|'omp'|'hybrid')."""
     if label == "serial":
         return None
     if label == "nop":
         return []
     if label == "mpi":
-        return mpi_aspects(mpi)
+        return mpi_aspects(mpi, backend=backend)
     if label == "omp":
         return openmp_aspects(omp)
     if label == "hybrid":
-        return hybrid_aspects(mpi, omp)
+        return hybrid_aspects(mpi, omp, backend=backend)
     raise ValueError(f"unknown configuration {label!r}")
 
 

@@ -4,8 +4,13 @@ The paper's prototype runs on a real cluster; this package provides the
 simulated equivalents the aspect modules manage (see DESIGN.md §2 for
 the substitution rationale):
 
+* :mod:`repro.runtime.backends` — pluggable execution backends for the
+  distributed layer (``serial`` inline, ``threads`` simulated,
+  ``process`` real forked ranks), resolved by name via
+  :func:`get_backend`;
 * :class:`MPIWorld` / :class:`SimNetwork` — threaded SPMD ranks with an
-  in-memory interconnect that counts messages and bytes;
+  in-memory interconnect that counts messages and bytes (the
+  ``threads`` backend);
 * :class:`ThreadTeam` — shared-memory task team with barrier/single;
 * :class:`TaskContext` — hierarchical task ids;
 * :class:`TraceRecorder` — per-task work/traffic counters;
@@ -13,6 +18,15 @@ the substitution rationale):
   counters into modelled wall-clock for the scaling figures.
 """
 
+from .backends import (
+    DEFAULT_BACKEND,
+    BackendError,
+    ExecutionBackend,
+    ExecutionWorld,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .costmodel import CostBreakdown, CostModel
 from .errors import (
     CollectiveError,
@@ -29,6 +43,13 @@ from .task import SERIAL_TASK, TaskContext, current_task, task_scope
 from .tracing import TaskCounters, TraceRecorder, global_trace
 
 __all__ = [
+    "BackendError",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "ExecutionWorld",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "CostBreakdown",
     "CostModel",
     "MachineSpec",

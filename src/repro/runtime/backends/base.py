@@ -1,0 +1,156 @@
+"""Abstract interface of the execution-backend subsystem.
+
+The distributed-memory aspect module does not construct a runtime
+directly; it asks the backend registry (:mod:`repro.runtime.backends`)
+for an :class:`ExecutionBackend` and lets it create an
+:class:`ExecutionWorld`.  A world bundles the four capabilities the
+aspect module needs:
+
+* **SPMD launch** — run the whole end-user program once per rank
+  (:meth:`ExecutionWorld.run_spmd`), each rank with its own Env replica;
+* **collectives** — :meth:`ExecutionWorld.barrier` /
+  :meth:`ExecutionWorld.allreduce` between the ranks of the world;
+* **block registration** — a cross-rank directory mapping logical block
+  keys to owning ranks (:meth:`ExecutionWorld.register_block` +
+  :meth:`ExecutionWorld.commit_registration`);
+* **page transport** — :meth:`ExecutionWorld.fetch_page_by_logical`
+  moves page snapshots from the owning rank to the requester.
+
+Implementations shipped with the platform: ``serial`` (inline, world of
+one), ``threads`` (one OS thread per rank — the original simulated
+runtime), ``process`` (one real ``multiprocessing`` process per rank).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..errors import CollectiveError, NetworkError
+from ..task import TaskContext
+
+__all__ = ["BackendError", "ExecutionBackend", "ExecutionWorld", "RankResult", "raise_spmd_failures"]
+
+
+class BackendError(RuntimeError):
+    """An execution backend is unknown, unavailable or misconfigured."""
+
+
+@dataclass
+class RankResult:
+    """Outcome of one rank's SPMD execution."""
+
+    rank: int
+    value: Any = None
+    error: Optional[BaseException] = None
+
+
+def raise_spmd_failures(results: List[RankResult]) -> None:
+    """Raise a RuntimeError summarising failed ranks (no-op when all passed).
+
+    When both root-cause errors and secondary collective timeouts are
+    present (a dead rank makes its peers' collectives fail too), the
+    chained cause prefers the root cause so tracebacks point at the
+    actual bug.
+    """
+    errors = [r for r in results if r.error is not None]
+    if not errors:
+        return
+    primary = next(
+        (r for r in errors if not isinstance(r.error, (CollectiveError, NetworkError))),
+        errors[0],
+    )
+    raise RuntimeError(
+        f"{len(errors)} rank(s) failed; first failure on rank {primary.rank}"
+    ) from primary.error
+
+
+class ExecutionWorld(abc.ABC):
+    """One SPMD world: ranks, collectives, block directory, page transport."""
+
+    #: Registry name of the backend that created this world.
+    backend_name: str = "?"
+    #: Number of ranks.
+    size: int
+
+    # -- SPMD launch ----------------------------------------------------
+    @abc.abstractmethod
+    def run_spmd(
+        self, body: Callable[[TaskContext], Any], *, omp_threads: int = 1
+    ) -> List[RankResult]:
+        """Execute ``body`` once per rank; raise if any rank failed."""
+
+    @abc.abstractmethod
+    def finalize(self) -> None:
+        """Release per-run resources (Env replicas, endpoints); idempotent."""
+
+    # -- Env / block registration --------------------------------------
+    @abc.abstractmethod
+    def register_env(self, rank: int, env: Any) -> None:
+        """Attach a rank's Env replica as its page-serving endpoint."""
+
+    @abc.abstractmethod
+    def env_of(self, rank: int) -> Any:
+        """Return the Env registered by ``rank`` (NetworkError if absent)."""
+
+    @abc.abstractmethod
+    def register_block(self, logical_key: Any, rank: int, block_id: int, *, owner: bool) -> None:
+        """Record that ``rank`` materialised ``logical_key`` as ``block_id``."""
+
+    @abc.abstractmethod
+    def commit_registration(self) -> None:
+        """Collective close of the registration phase.
+
+        After every rank returns from this call, each rank's directory
+        can resolve the owner (and the owner-local block id) of every
+        logical key registered by any rank.  Doubles as a barrier.
+        """
+
+    # -- collectives ----------------------------------------------------
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Synchronise all ranks of the world."""
+
+    @abc.abstractmethod
+    def allreduce(self, value: Any, op: Callable[[List[Any]], Any]) -> Any:
+        """Every rank contributes ``value``; all receive ``op(values)``.
+
+        The ``serial`` and ``process`` backends deliver ``values``
+        ordered by contributing rank; the ``threads`` backend delivers
+        them in arrival order — ``op`` must therefore be commutative
+        (and/or/sum/min/max and friends), as real MPI reductions are.
+        """
+
+    def allreduce_and(self, flag: bool) -> bool:
+        """Logical-AND allreduce (used to agree on refresh success)."""
+        return bool(self.allreduce(bool(flag), lambda values: all(values)))
+
+    def allreduce_sum(self, value: float) -> float:
+        """Sum allreduce (used by examples for residual norms)."""
+        return float(self.allreduce(float(value), lambda values: sum(values)))
+
+    # -- page transport -------------------------------------------------
+    @abc.abstractmethod
+    def fetch_page_by_logical(self, requester: int, logical_key: Any, page_index: int):
+        """Fetch a page of the Block identified by ``logical_key`` from its owner."""
+
+    # -- accounting -----------------------------------------------------
+    @abc.abstractmethod
+    def traffic_summary(self) -> dict:
+        """Aggregate traffic counters with :class:`~repro.runtime.network.NetworkStats` keys."""
+
+
+class ExecutionBackend(abc.ABC):
+    """Factory for :class:`ExecutionWorld` instances of one execution strategy."""
+
+    #: Registry name (``Platform.builder().backend(name)`` selects it).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def create_world(self, size: int, *, timeout: float = 60.0) -> ExecutionWorld:
+        """Create a world of ``size`` ranks."""
+
+    def available(self) -> bool:
+        """Whether this backend can run on the current interpreter/OS."""
+        return True

@@ -1,0 +1,557 @@
+"""The ``process`` backend: one real OS process per rank.
+
+Unlike the ``threads`` backend (GIL-bound, scaling numbers modelled),
+this backend forks one ``multiprocessing`` process per rank, so rank
+compute genuinely overlaps and ``benchmarks/bench_backend_scaling.py``
+can report *measured* wall-clock speed-up.
+
+Topology and transport
+----------------------
+
+Rank 0 runs inline in the parent process (so the master application
+instance, its Env and its trace counters stay native objects); ranks
+1..N-1 are forked children.  Every pair of ranks is connected by one
+duplex :func:`multiprocessing.Pipe`; there is no shared memory and no
+coordinator — collectives are allgathers over the pipe mesh.
+
+Messages are small tuples:
+
+``("coll", kind, gen, payload)``
+    Collective contribution, broadcast to every peer.  ``kind`` is
+    ``"red"`` (allreduce), ``"bar"`` (barrier), ``"reg"`` (directory
+    allgather) or ``"exit"`` (end-of-program drain barrier); ``gen`` is
+    a per-kind generation counter that detects protocol corruption.
+``("preq", req_id, block_id, page_index)`` / ``("prep", req_id, data)``
+    Page request/reply ("perr" carries a failure message instead).
+
+The page-serving protocol
+-------------------------
+
+Remote pages are only ever fetched inside the collective refresh
+protocol of the distributed-memory aspect (between the success
+``allreduce`` and the step ``barrier``, plus the Dry-run prefetch right
+after it), so whenever rank A asks rank B for a page, rank B is either
+blocked in a collective or itself blocked on a page reply.  The single
+transport invariant that makes this deadlock-free is therefore:
+
+    **every blocking wait pumps all connections and services incoming
+    page requests immediately**; everything else is buffered per peer.
+
+A rank blocked in ``allreduce``/``barrier``/``fetch_page`` thus keeps
+serving its peers' page requests out of its registered Env snapshot.
+After the program body finishes (or raises), every rank enters a final
+``exit`` drain barrier so late prefetch requests of slower peers are
+still served before the process tears down.
+
+Every rank counts its own traffic in a local
+:class:`~repro.runtime.network.NetworkStats`; children ship their
+counters (and their per-task trace counters) back to the parent over a
+dedicated result pipe, where they are merged so that
+``PlatformRun.network`` and ``PlatformRun.counters`` look exactly like
+a ``threads`` run's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue
+import threading
+import time
+from collections import deque
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import CollectiveError, NetworkError, TaskError
+from ..network import NetworkStats, _payload_nbytes
+from ..simmpi import BlockDirectory
+from ..task import TaskContext, task_scope
+from ..tracing import global_trace
+from .base import BackendError, ExecutionBackend, ExecutionWorld, RankResult, raise_spmd_failures
+
+__all__ = ["ProcessBackend", "ProcessTransport", "ProcessWorld"]
+
+#: Collective kinds whose contributions are terminal per rank: once a
+#: peer sent "exit" it will never contribute to red/bar/reg again, so a
+#: buffered exit while awaiting one of those is a definitive failure.
+_COLLECTIVE_KINDS = ("red", "bar", "reg", "exit")
+
+
+def _concat(lists: List[list]) -> list:
+    return [entry for sub in lists for entry in sub]
+
+
+def _merge_stats(dst: NetworkStats, src: NetworkStats) -> None:
+    for field in dst.__dict__:
+        setattr(dst, field, getattr(dst, field) + getattr(src, field))
+
+
+def _force_picklable(obj: Any, fallback: Callable[[Any], Any]):
+    """Return ``obj`` if it pickles, else ``fallback(obj)`` (e.g. repr)."""
+    try:
+        pickle.dumps(obj)
+        return obj
+    except Exception:  # noqa: BLE001 - any pickling failure
+        return fallback(obj)
+
+
+class ProcessTransport:
+    """Per-process endpoint of the pipe mesh (one instance per rank)."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        conns: Dict[int, Any],
+        timeout: float,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.conns = conns  # peer rank -> Connection
+        self.timeout = timeout
+        self.stats = NetworkStats()
+        #: The rank's Env replica, served to peers (set by register_env).
+        self.endpoint: Any = None
+        self._peer_of = {id(conn): peer for peer, conn in conns.items()}
+        self._inbox: Dict[int, deque] = {peer: deque() for peer in conns}
+        self._gens: Dict[str, int] = {}
+        self._next_req = 0
+        #: Peers whose connection hit EOF (or failed a send).  A clean
+        #: peer closes only after completing the exit barrier, i.e.
+        #: after sending us everything we will ever need — so a gone
+        #: peer is fatal only when a wait for it comes up empty.
+        self._dead: set = set()
+        # All outbound traffic goes through a dedicated sender thread:
+        # Connection.send blocks without timeout when the pipe buffer is
+        # full, and two ranks fanning out a large collective payload to
+        # each other (e.g. the registration allgather of a many-block
+        # Env) would deadlock if the protocol loop itself ever blocked
+        # in send.  With the sender decoupled, the protocol loop keeps
+        # pumping — so peers always drain, and sends always complete.
+        self._outbox: queue.Queue = queue.Queue()
+        self._sender = threading.Thread(
+            target=self._sender_main, name=f"proc-mpi-sender-{rank}", daemon=True
+        )
+        self._sender.start()
+
+    # -- sending --------------------------------------------------------
+    def _sender_main(self) -> None:
+        while True:
+            item = self._outbox.get()
+            if item is None:
+                return
+            peer, msg = item
+            try:
+                self.conns[peer].send(msg)
+            except Exception:  # noqa: BLE001 - a failed send means the peer died;
+                # the protocol loop notices via _dead when it waits on them.
+                self._dead.add(peer)
+
+    def _send(self, peer: int, msg: tuple) -> None:
+        self._outbox.put((peer, msg))
+        self.stats.messages += 1
+        self.stats.bytes_moved += _payload_nbytes(msg)
+
+    # -- receiving ------------------------------------------------------
+    def _pump(self, wait_timeout: float) -> None:
+        """Receive whatever is available, servicing page requests inline."""
+        conns = [conn for peer, conn in self.conns.items() if peer not in self._dead]
+        if not conns:
+            return
+        for conn in connection_wait(conns, timeout=wait_timeout):
+            peer = self._peer_of[id(conn)]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self._dead.add(peer)
+                continue
+            if msg[0] == "preq":
+                self._serve_page(peer, msg)
+            else:
+                self._inbox[peer].append(msg)
+
+    def _serve_page(self, peer: int, msg: tuple) -> None:
+        """Answer a peer's page request from the local Env snapshot."""
+        _, req_id, block_id, page_index = msg
+        try:
+            if self.endpoint is None:
+                raise NetworkError(f"rank {self.rank} has no registered Env")
+            from ...memory.page import PageKey  # local import to avoid a cycle
+
+            data = self.endpoint.page_snapshot(PageKey(block_id, page_index))
+            reply = ("prep", req_id, data)
+        except Exception as exc:  # noqa: BLE001 - shipped to the requester
+            reply = ("perr", req_id, f"rank {self.rank} could not serve page "
+                                     f"({block_id}, {page_index}): {exc!r}")
+        # Uncounted send: the requester accounts the fetch traffic (one
+        # request plus one reply), mirroring SimNetwork.fetch_page.
+        self._outbox.put((peer, reply))
+
+    def _await(self, peer: int, match: Callable[[tuple], bool], what: str,
+               *, fail_on_exit: bool = False) -> tuple:
+        """Block until a message from ``peer`` matches, pumping meanwhile."""
+        deadline = time.monotonic() + self.timeout
+        while True:
+            queue = self._inbox[peer]
+            for index, msg in enumerate(queue):
+                if match(msg):
+                    del queue[index]
+                    return msg
+            if fail_on_exit and any(
+                m[0] == "coll" and m[1] == "exit" for m in queue
+            ):
+                raise CollectiveError(
+                    f"rank {peer} exited while rank {self.rank} was waiting for {what}"
+                )
+            if peer in self._dead:
+                raise NetworkError(
+                    f"rank {peer} closed its connection while rank {self.rank} "
+                    f"was waiting for {what}"
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CollectiveError(
+                    f"rank {self.rank} timed out after {self.timeout}s waiting "
+                    f"for {what} from rank {peer}"
+                )
+            self._pump(min(remaining, 0.25))
+
+    # -- collectives ----------------------------------------------------
+    def collective(self, kind: str, value: Any, op: Callable[[List[Any]], Any]) -> Any:
+        """Allgather ``value`` from every rank and reduce with ``op``.
+
+        Contributions are ordered by rank, so ``op`` sees the same list
+        on every rank.
+        """
+        if kind not in _COLLECTIVE_KINDS:
+            raise CollectiveError(f"unknown collective kind {kind!r}")
+        gen = self._gens.get(kind, 0)
+        self._gens[kind] = gen + 1
+        for peer in self.conns:
+            self._send(peer, ("coll", kind, gen, value))
+        contributions = {self.rank: value}
+        for peer in sorted(self.conns):
+            msg = self._await(
+                peer,
+                # "exit" ignores the generation: during error unwinding a
+                # failed rank reaches the drain barrier at a different
+                # collective count than its healthy peers.
+                lambda m: m[0] == "coll" and m[1] == kind
+                and (kind == "exit" or m[2] == gen),
+                f"{kind!r} collective (generation {gen})",
+                fail_on_exit=kind != "exit",
+            )
+            contributions[peer] = msg[3]
+        return op([contributions[rank] for rank in sorted(contributions)])
+
+    def exit_barrier(self) -> None:
+        """End-of-program drain: keep serving pages until every rank is done."""
+        self.collective("exit", None, lambda values: None)
+
+    # -- page transport -------------------------------------------------
+    def fetch_page(self, owner: int, block_id: int, page_index: int):
+        """Fetch one page snapshot from ``owner`` (request/reply protocol)."""
+        if owner == self.rank:
+            if self.endpoint is None:
+                raise NetworkError(f"rank {self.rank} has no registered Env")
+            from ...memory.page import PageKey  # local import to avoid a cycle
+
+            data = self.endpoint.page_snapshot(PageKey(block_id, page_index))
+        else:
+            self._next_req += 1
+            req_id = self._next_req
+            self._send(owner, ("preq", req_id, block_id, page_index))
+            msg = self._await(
+                owner,
+                lambda m: m[0] in ("prep", "perr") and m[1] == req_id,
+                f"page reply {req_id} for block {block_id} page {page_index}",
+            )
+            if msg[0] == "perr":
+                raise NetworkError(msg[2])
+            data = msg[2]
+            self.stats.messages += 1  # the reply (the request was counted by _send)
+        self.stats.page_fetches += 1
+        self.stats.bytes_moved += int(data.nbytes) + 32
+        return data
+
+    def close(self) -> None:
+        # The sentinel queues behind any pending messages, so joining the
+        # sender flushes everything (e.g. the exit-barrier contribution
+        # a slower peer is still waiting for) before the pipes close.
+        self._outbox.put(None)
+        self._sender.join(timeout=5.0)
+        for conn in self.conns.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+
+class ProcessWorld(ExecutionWorld):
+    """SPMD world whose ranks are real forked processes."""
+
+    backend_name = "process"
+
+    def __init__(self, size: int, *, timeout: float = 60.0) -> None:
+        if size < 1:
+            raise TaskError("MPI world size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self.directory = BlockDirectory()
+        self.rank_envs: Dict[int, Any] = {}
+        #: Parent-side aggregate of every rank's transport counters.
+        self.stats = NetworkStats()
+        self._transport: Optional[ProcessTransport] = None
+        self._pending_blocks: List[Tuple[Any, int, int, bool]] = []
+        self._finalized = False
+
+    # -- SPMD launch ----------------------------------------------------
+    def run_spmd(
+        self, body: Callable[[TaskContext], Any], *, omp_threads: int = 1
+    ) -> List[RankResult]:
+        results = [RankResult(rank=r) for r in range(self.size)]
+        if self.size == 1:
+            self._run_rank_inline(results[0], body, omp_threads)
+            raise_spmd_failures(results)
+            return results
+
+        ctx = multiprocessing.get_context("fork")
+        # One duplex pipe per unordered rank pair, created before forking
+        # so every process inherits its ends.
+        conns_of: Dict[int, Dict[int, Any]] = {r: {} for r in range(self.size)}
+        for i in range(self.size):
+            for j in range(i + 1, self.size):
+                end_i, end_j = ctx.Pipe(duplex=True)
+                conns_of[i][j] = end_i
+                conns_of[j][i] = end_j
+        result_pipes = {r: ctx.Pipe(duplex=False) for r in range(1, self.size)}
+
+        procs = {}
+        for rank in range(1, self.size):
+            proc = ctx.Process(
+                target=self._child_main,
+                args=(rank, conns_of, result_pipes[rank][1], body, omp_threads),
+                name=f"proc-mpi-rank-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            procs[rank] = proc
+
+        # The parent is rank 0: drop the ends belonging to other ranks.
+        for rank in range(1, self.size):
+            for conn in conns_of[rank].values():
+                conn.close()
+            result_pipes[rank][1].close()
+        self._transport = transport = ProcessTransport(
+            0, self.size, conns_of[0], self.timeout
+        )
+        try:
+            self._run_rank_inline(results[0], body, omp_threads, mpi_size=self.size)
+            self._collect_children(results, result_pipes, procs)
+        finally:
+            _merge_stats(self.stats, transport.stats)
+            transport.close()
+            self._transport = None
+            for rank, proc in procs.items():
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - defensive teardown
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+        raise_spmd_failures(results)
+        return results
+
+    def _run_rank_inline(
+        self,
+        result: RankResult,
+        body: Callable[[TaskContext], Any],
+        omp_threads: int,
+        *,
+        mpi_size: int = 1,
+    ) -> None:
+        context = TaskContext(
+            mpi_rank=result.rank, mpi_size=mpi_size, omp_thread=0, omp_threads=omp_threads
+        )
+        try:
+            with task_scope(context):
+                result.value = body(context)
+        except BaseException as exc:  # noqa: BLE001 - propagated by caller
+            result.error = exc
+        finally:
+            if self._transport is not None:
+                try:
+                    self._transport.exit_barrier()
+                except Exception as exc:  # noqa: BLE001 - secondary failure
+                    if result.error is None:
+                        result.error = exc
+
+    def _child_main(
+        self,
+        rank: int,
+        conns_of: Dict[int, Dict[int, Any]],
+        result_conn,
+        body: Callable[[TaskContext], Any],
+        omp_threads: int,
+    ) -> None:
+        # Forked child: drop inherited pipe ends belonging to other ranks
+        # so a dead peer is observable as EOF rather than a silent hang.
+        for other, conns in conns_of.items():
+            if other != rank:
+                for conn in conns.values():
+                    conn.close()
+        self._transport = transport = ProcessTransport(
+            rank, self.size, conns_of[rank], self.timeout
+        )
+        # The child's fork-copied trace may contain pre-fork counters;
+        # reset so only this rank's tasks are shipped back to the parent.
+        global_trace().reset()
+        result = RankResult(rank=rank)
+        self._run_rank_inline(result, body, omp_threads, mpi_size=self.size)
+        payload = {
+            # Rank results cross a process boundary here; values that do
+            # not pickle (e.g. woven application instances) degrade to
+            # None — the aspect only consumes rank 0's value, which lives
+            # in the parent and never crosses this boundary.
+            "value": _force_picklable(result.value, lambda _v: None),
+            "error": _force_picklable(
+                result.error, lambda e: RuntimeError(f"rank {rank} failed: {e!r}")
+            ),
+            "counters": global_trace().all_counters(),
+            "stats": transport.stats,
+        }
+        try:
+            result_conn.send(payload)
+        finally:
+            result_conn.close()
+            transport.close()
+
+    def _collect_children(self, results, result_pipes, procs) -> None:
+        trace = global_trace()
+        deadline = time.monotonic() + self.timeout + 10.0
+        for rank in range(1, self.size):
+            recv_conn = result_pipes[rank][0]
+            remaining = max(deadline - time.monotonic(), 0.1)
+            try:
+                if recv_conn.poll(remaining):
+                    payload = recv_conn.recv()
+                else:
+                    raise NetworkError(
+                        f"rank {rank} did not report a result within {self.timeout}s"
+                    )
+            except (EOFError, OSError):
+                results[rank].error = NetworkError(
+                    f"rank {rank} died without reporting a result"
+                )
+                continue
+            except NetworkError as exc:
+                results[rank].error = exc
+                continue
+            finally:
+                recv_conn.close()
+            results[rank].value = payload["value"]
+            results[rank].error = payload["error"]
+            trace.merge_counters(payload["counters"])
+            _merge_stats(self.stats, payload["stats"])
+
+    # -- Env / block registration --------------------------------------
+    def register_env(self, rank: int, env: Any) -> None:
+        self.rank_envs[rank] = env
+        if self._transport is not None:
+            self._transport.endpoint = env
+
+    def env_of(self, rank: int) -> Any:
+        try:
+            return self.rank_envs[rank]
+        except KeyError:
+            raise NetworkError(f"rank {rank} has not registered an Env") from None
+
+    def register_block(self, logical_key: Any, rank: int, block_id: int, *, owner: bool) -> None:
+        self.directory.register(logical_key, rank, block_id, owner=owner)
+        self._pending_blocks.append((logical_key, rank, block_id, owner))
+
+    def commit_registration(self) -> None:
+        """Allgather every rank's directory entries (doubles as a barrier)."""
+        transport = self._require_transport()
+        pending, self._pending_blocks = self._pending_blocks, []
+        if transport is None:
+            return  # single-rank world: the local directory is complete
+        own_rank = transport.rank
+        for logical_key, rank, block_id, owner in transport.collective("reg", pending, _concat):
+            if rank == own_rank:
+                continue  # registered locally by register_block already
+            self.directory.register(logical_key, rank, block_id, owner=owner)
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> None:
+        transport = self._require_transport()
+        if transport is None:
+            self.stats.barriers += 1
+            return
+        transport.stats.barriers += 1
+        transport.collective("bar", None, lambda values: None)
+
+    def allreduce(self, value: Any, op: Callable[[List[Any]], Any]) -> Any:
+        transport = self._require_transport()
+        if transport is None:
+            self.stats.allreduces += 1
+            return op([value])
+        transport.stats.allreduces += 1
+        return transport.collective("red", value, op)
+
+    def _require_transport(self) -> Optional[ProcessTransport]:
+        if self._transport is None and self.size > 1:
+            raise NetworkError(
+                "process-backend collectives are only available inside run_spmd()"
+            )
+        return self._transport
+
+    # -- page transport -------------------------------------------------
+    def fetch_page_by_logical(self, requester: int, logical_key: Any, page_index: int):
+        owner = self.directory.owner_of(logical_key)
+        block_id = self.directory.block_id_on(logical_key, owner)
+        transport = self._transport
+        if transport is not None:
+            return transport.fetch_page(owner, block_id, page_index)
+        from ...memory.page import PageKey  # local import to avoid a cycle
+
+        data = self.env_of(owner).page_snapshot(PageKey(block_id, page_index))
+        self.stats.page_fetches += 1
+        self.stats.messages += 2
+        self.stats.bytes_moved += int(data.nbytes) + 32
+        return data
+
+    # -- lifecycle / accounting -----------------------------------------
+    def finalize(self) -> None:
+        self.rank_envs.clear()
+        self._pending_blocks = []
+        if self._transport is not None:  # pragma: no cover - defensive
+            self._transport.close()
+            self._transport = None
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def traffic_summary(self) -> dict:
+        return self.stats.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessWorld(size={self.size}, stats={self.stats.as_dict()})"
+
+
+class ProcessBackend(ExecutionBackend):
+    """Backend producing :class:`ProcessWorld` instances (fork start method)."""
+
+    name = "process"
+
+    def available(self) -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def create_world(self, size: int, *, timeout: float = 60.0) -> ProcessWorld:
+        if not self.available():
+            raise BackendError(
+                "the 'process' backend needs the 'fork' multiprocessing start "
+                "method (woven applications are inherited by forked ranks, not "
+                "pickled); use the 'threads' backend on this platform"
+            )
+        return ProcessWorld(size, timeout=timeout)

@@ -1,0 +1,121 @@
+"""The ``serial`` backend: a world of exactly one rank, run inline.
+
+No threads, no processes, no blocking machinery — collectives are
+trivial with a single participant and page "transport" is a local
+snapshot copy.  This is both the cheapest way to execute a
+``DistributedMemoryAspect(processes=1)`` configuration and the
+reference implementation every other backend must agree with
+numerically (see tests/integration/test_backend_conformance.py).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..errors import NetworkError, TaskError
+from ..network import NetworkStats
+from ..simmpi import BlockDirectory
+from ..task import TaskContext, task_scope
+from .base import ExecutionBackend, ExecutionWorld, RankResult, raise_spmd_failures
+
+__all__ = ["SerialBackend", "SerialWorld"]
+
+
+class SerialWorld(ExecutionWorld):
+    """Inline single-rank world (collectives short-circuit, fetches are local)."""
+
+    backend_name = "serial"
+
+    def __init__(self, *, timeout: float = 60.0) -> None:
+        self.size = 1
+        self.timeout = timeout
+        self.directory = BlockDirectory()
+        self.stats = NetworkStats()
+        self.rank_envs: Dict[int, Any] = {}
+        self._finalized = False
+
+    # -- SPMD launch ----------------------------------------------------
+    def run_spmd(
+        self, body: Callable[[TaskContext], Any], *, omp_threads: int = 1
+    ) -> List[RankResult]:
+        result = RankResult(rank=0)
+        context = TaskContext(mpi_rank=0, mpi_size=1, omp_thread=0, omp_threads=omp_threads)
+        try:
+            with task_scope(context):
+                result.value = body(context)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            result.error = exc
+        raise_spmd_failures([result])
+        return [result]
+
+    def finalize(self) -> None:
+        self.rank_envs.clear()
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    # -- Env / block registration --------------------------------------
+    def register_env(self, rank: int, env: Any) -> None:
+        self._check_rank(rank)
+        self.rank_envs[rank] = env
+
+    def env_of(self, rank: int) -> Any:
+        try:
+            return self.rank_envs[rank]
+        except KeyError:
+            raise NetworkError(f"rank {rank} has not registered an Env") from None
+
+    def register_block(self, logical_key: Any, rank: int, block_id: int, *, owner: bool) -> None:
+        self.directory.register(logical_key, rank, block_id, owner=owner)
+
+    def commit_registration(self) -> None:
+        pass  # a single rank's directory is complete by construction
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> None:
+        self.stats.barriers += 1
+
+    def allreduce(self, value: Any, op: Callable[[List[Any]], Any]) -> Any:
+        self.stats.allreduces += 1
+        return op([value])
+
+    # -- page transport -------------------------------------------------
+    def fetch_page_by_logical(self, requester: int, logical_key: Any, page_index: int):
+        self._check_rank(requester)
+        owner = self.directory.owner_of(logical_key)
+        block_id = self.directory.block_id_on(logical_key, owner)
+        from ...memory.page import PageKey  # local import to avoid a cycle
+
+        data = self.env_of(owner).page_snapshot(PageKey(block_id, page_index))
+        self.stats.page_fetches += 1
+        self.stats.messages += 2
+        self.stats.bytes_moved += int(data.nbytes) + 32
+        return data
+
+    # -- accounting -----------------------------------------------------
+    def traffic_summary(self) -> dict:
+        return self.stats.as_dict()
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if rank != 0:
+            raise NetworkError(f"rank {rank} outside serial world of size 1")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SerialWorld(stats={self.stats.as_dict()})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Backend producing :class:`SerialWorld` instances (size must be 1)."""
+
+    name = "serial"
+
+    def create_world(self, size: int, *, timeout: float = 60.0) -> SerialWorld:
+        if size != 1:
+            raise TaskError(
+                f"the 'serial' backend runs exactly one rank (requested {size}); "
+                "use the 'threads' or 'process' backend for multi-rank worlds"
+            )
+        return SerialWorld(timeout=timeout)

@@ -102,6 +102,15 @@ class SimNetwork:
             except KeyError:
                 raise NetworkError(f"rank {rank} has no registered endpoint") from None
 
+    def release_endpoints(self) -> None:
+        """Drop every registered endpoint (world finalisation).
+
+        Endpoints are whole Env replicas; keeping them referenced after
+        the run leaks one Env per rank per finished platform run.
+        """
+        with self._lock:
+            self._endpoints.clear()
+
     # ------------------------------------------------------------------
     # point to point
     # ------------------------------------------------------------------

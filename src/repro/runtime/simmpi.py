@@ -15,16 +15,20 @@ needs a runtime that can
 own OS thread; the GIL prevents real speed-up, which is irrelevant
 because scaling numbers come from the cost model, not wall-clock
 (DESIGN.md §2).
+
+MPIWorld is the ``threads`` implementation of the execution-backend
+interface (:mod:`repro.runtime.backends`); the ``process`` backend
+provides the same world contract on real forked processes.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
+from .backends.base import ExecutionWorld, RankResult, raise_spmd_failures
 from .errors import NetworkError, TaskError
 from .network import SimNetwork
 from .task import TaskContext, task_scope
@@ -79,17 +83,10 @@ class BlockDirectory:
             return list(self._owner)
 
 
-@dataclass
-class RankResult:
-    """Outcome of one rank's SPMD execution."""
-
-    rank: int
-    value: Any = None
-    error: Optional[BaseException] = None
-
-
-class MPIWorld:
+class MPIWorld(ExecutionWorld):
     """One simulated MPI world: ranks, network, block directory."""
+
+    backend_name = "threads"
 
     def __init__(self, size: int, *, timeout: float = 60.0) -> None:
         if size < 1:
@@ -112,6 +109,28 @@ class MPIWorld:
             return self.rank_envs[rank]
         except KeyError:
             raise NetworkError(f"rank {rank} has not registered an Env") from None
+
+    def register_block(self, logical_key: Any, rank: int, block_id: int, *, owner: bool) -> None:
+        """Record a rank's materialisation of ``logical_key`` (shared directory)."""
+        self.directory.register(logical_key, rank, block_id, owner=owner)
+
+    def commit_registration(self) -> None:
+        """Close the registration phase.
+
+        The directory is shared between the rank threads, so committing
+        is just the barrier that keeps any rank from computing before
+        every rank finished registering.
+        """
+        self.network.barrier()
+
+    # ------------------------------------------------------------------
+    # collectives (delegated to the simulated interconnect)
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        self.network.barrier()
+
+    def allreduce(self, value: Any, op: Callable[[List[Any]], Any]) -> Any:
+        return self.network.allreduce(value, op)
 
     # ------------------------------------------------------------------
     def fetch_page_by_logical(
@@ -164,17 +183,21 @@ class MPIWorld:
             for thread in threads:
                 thread.join()
 
-        errors = [r for r in results if r.error is not None]
-        if errors:
-            first = errors[0]
-            raise RuntimeError(
-                f"{len(errors)} rank(s) failed; first failure on rank {first.rank}"
-            ) from first.error
+        raise_spmd_failures(results)
         return results
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:
-        """Tear the world down (idempotent)."""
+        """Tear the world down (idempotent).
+
+        Releases every rank's Env replica and the network's endpoint
+        registry: a long-lived process running many platform
+        configurations back to back must not accumulate one full set of
+        Env replicas (pools, pages, MMAT memos) per finished run.
+        Traffic statistics survive so post-run reporting keeps working.
+        """
+        self.rank_envs.clear()
+        self.network.release_endpoints()
         self._finalized = True
 
     @property

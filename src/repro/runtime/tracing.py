@@ -89,6 +89,25 @@ class TraceRecorder:
         with self._lock:
             return dict(self._counters)
 
+    def merge_counters(self, counters: Dict[Tuple[int, int], TaskCounters]) -> None:
+        """Fold another recorder's counters in (process-backend rank results).
+
+        Numeric fields are added; descriptive fields (access pattern,
+        bytes per update) take the incoming value, as they are set by
+        the DSL layer that actually ran the task.
+        """
+        with self._lock:
+            for key, incoming in counters.items():
+                mine = self._counters.get(key)
+                if mine is None:
+                    self._counters[key] = incoming
+                    continue
+                for attr, value in incoming.as_dict().items():
+                    if attr in ("access_pattern", "bytes_per_update"):
+                        setattr(mine, attr, value)
+                    else:
+                        setattr(mine, attr, getattr(mine, attr) + value)
+
     # ------------------------------------------------------------------
     def total(self, attr: str) -> int:
         return sum(getattr(c, attr) for c in self.all_counters().values())
