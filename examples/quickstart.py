@@ -94,6 +94,17 @@ def main() -> None:
     print("MPI run per-task updates:",
           {task: c.updates for task, c in sorted(mpi.counters.items())})
 
+    # With MMAT enabled the kernels run through compiled access plans:
+    # the `plans=…sites vec=…%` part of summary() shows how much of the
+    # sweep was vectorized, and mmat_stats carries the full breakdown
+    # (memo hit-rate, compiled plans, fallback sites).  The serial run
+    # above used the legacy constructor without MMAT, so its batched
+    # accesses fell back to the scalar path (vec=0%).
+    print("OpenMP x4 plan stats:", {
+        k: omp.mmat_stats[k]
+        for k in ("plans", "plan_sites", "vectorized_fraction", "hit_rate")
+    })
+
 
 if __name__ == "__main__":
     main()

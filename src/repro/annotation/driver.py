@@ -63,6 +63,9 @@ class PlatformRun:
     #: ("serial" | "threads" | "process" | custom); None when no
     #: distributed-memory world was created.
     backend: Optional[str] = None
+    #: MMAT / access-plan statistics of the master task's Env
+    #: (``MMAT.stats()``: memo hit-rate, compiled plans, coverage).
+    mmat_stats: dict = field(default_factory=dict)
 
     @property
     def result(self) -> Any:
@@ -74,7 +77,7 @@ class PlatformRun:
         Example::
 
             mpi=2,omp=2 tasks=4 elapsed=0.041s steps=8 updates=4096
-            fetched=12pg/3.1KiB collectives=10
+            fetched=12pg/3.1KiB collectives=10 plans=16/7680sites vec=100%
         """
         layers = ",".join(f"{k}={v}" for k, v in sorted(self.layers.items()))
         if not layers:
@@ -87,11 +90,23 @@ class PlatformRun:
         pages = sum(c.pages_fetched for c in self.counters.values())
         nbytes = sum(c.bytes_fetched for c in self.counters.values())
         collectives = sum(c.collectives for c in self.counters.values())
-        return (
+        line = (
             f"{layers} tasks={tasks} elapsed={self.elapsed:.3f}s "
             f"steps={steps} updates={updates} "
             f"fetched={pages}pg/{nbytes / 1024:.1f}KiB collectives={collectives}"
         )
+        plan_sites = sum(c.plan_sites for c in self.counters.values())
+        fallback = sum(c.plan_fallback_sites for c in self.counters.values())
+        if plan_sites or fallback:
+            # Summed trace counters, like plan_sites: mmat_stats covers
+            # only the master rank's Env and would under-count plans on
+            # multi-rank runs.
+            plans = sum(c.plan_compiles for c in self.counters.values())
+            vectorized = plan_sites / (plan_sites + fallback)
+            line += f" plans={plans}/{plan_sites}sites vec={vectorized:.0%}"
+            if fallback:
+                line += f" fallback={fallback}"
+        return line
 
 
 class PlatformBuilder:
@@ -463,6 +478,7 @@ class Platform:
 
         env_stats = app.env.stats if app.env is not None else None
         memory = app.env.memory_report() if app.env is not None else {}
+        mmat_stats = app.env.mmat.stats() if app.env is not None else {}
         network = {}
         backend_name = None
         world = self.context.get("mpi_world")
@@ -481,4 +497,5 @@ class Platform:
             memory=memory,
             transcompiled=self.transcompile,
             backend=backend_name,
+            mmat_stats=mmat_stats,
         )

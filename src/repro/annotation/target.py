@@ -113,7 +113,13 @@ class TargetApplication:
     # step-loop helpers (Listing 1's WarmUp / Run macros)
     # ------------------------------------------------------------------
     def warm_up(self, kernel: KernelFn) -> None:
-        """Dry-run the kernel to gather communication info; clears MMAT first."""
+        """Dry-run the kernel to gather communication info; clears MMAT first.
+
+        The reset drops both the scalar access memo and every compiled
+        access plan (the paper's "previously collected information at
+        MMAT is cleared when the warm-up macro is called") — plans are
+        recompiled lazily from the warm-up passes' resolutions.
+        """
         if self.env is not None:
             self.env.mmat.reset()
         for _ in range(self.MAX_WARMUP_PASSES):

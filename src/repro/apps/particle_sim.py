@@ -7,6 +7,12 @@ influence distance between particles, the App Part can calculate the
 force by interacting with the particles in the surrounding eight
 buckets outside the target bucket").  The domain boundary is modelled
 by fixed wall particles supplied by the DSL's Arithmetic Block.
+
+The default ``"vectorized"`` kernel gathers the whole 3×3 bucket
+neighbourhood of every bucket of a Block in one batched call (one
+access plan per Block after warm-up) and evaluates all pair
+interactions as a single broadcast NumPy expression;
+``kernel="scalar"`` keeps the per-bucket/per-particle reference loop.
 """
 
 from __future__ import annotations
@@ -15,9 +21,18 @@ from typing import Optional
 
 import numpy as np
 
-from ..dsl.particle import BucketView, ParticleTarget
+from ..dsl.particle import _FIELDS_PER_PARTICLE, BucketView, ParticleTarget
 
 __all__ = ["ParticleSimulation"]
+
+#: 3×3×1 bucket neighbourhood in the scalar kernel's read order
+#: (``dj`` outer, ``di`` inner); the centre bucket is NEIGHBOURHOOD[4].
+NEIGHBOURHOOD = tuple((di, dj, 0) for dj in (-1, 0, 1) for di in (-1, 0, 1))
+
+_ESCAPE_MESSAGE = (
+    "particle left its bucket; reduce dt/loops (the prototype, like the "
+    "paper's, does not implement particle movement between buckets)"
+)
 
 
 class ParticleSimulation(ParticleTarget):
@@ -29,6 +44,8 @@ class ParticleSimulation(ParticleTarget):
         Interaction cut-off radius (default: one bucket edge).
     ``stiffness``
         Strength of the repulsive force (default 5.0).
+    ``kernel``
+        ``"vectorized"`` (default) or ``"scalar"`` (reference path).
     """
 
     def __init__(self, config: Optional[dict] = None) -> None:
@@ -43,6 +60,82 @@ class ParticleSimulation(ParticleTarget):
 
     # ------------------------------------------------------------------
     def kernel(self, warmup: bool) -> bool:
+        if self.vectorized:
+            return self.kernel_vectorized(warmup)
+        return self.kernel_scalar(warmup)
+
+    # ------------------------------------------------------------------
+    def kernel_vectorized(self, warmup: bool) -> bool:
+        """All buckets of a Block against their 3×3 neighbourhoods at once."""
+        dt = self.dt
+        cutoff = self.cutoff
+        stiffness = self.stiffness
+        cap = self.bucket_capacity
+        slots = np.arange(cap)
+
+        for block, k in self.block_kernels(warmup):
+            # (9, buckets, components) bucket records for the whole block.
+            hood = k.gather(NEIGHBOURHOOD)
+            n = hood.shape[1]
+            counts = hood[:, :, 0]
+            recs = hood[:, :, 1:].reshape(9, n, cap, _FIELDS_PER_PARTICLE)
+            # Neighbour particles per bucket, in the scalar read order:
+            # offset-major, slot order within each bucket.
+            others = recs[..., 1:4].transpose(1, 0, 2, 3).reshape(n, 9 * cap, 3)
+            others_valid = (
+                (slots[None, None, :] < counts[..., None])
+                .transpose(1, 0, 2)
+                .reshape(n, 9 * cap)
+            )
+
+            centre = recs[4]                       # (buckets, cap, 10)
+            centre_valid = slots[None, :] < counts[4][:, None]
+            pos = centre[..., 1:4]
+            vel = centre[..., 4:7]
+
+            delta = pos[:, :, None, :] - others[:, None, :, :]
+            dist = np.sqrt((delta ** 2).sum(axis=-1))
+            mask = others_valid[:, None, :] & (dist > 1e-12) & (dist < cutoff)
+            d = np.where(mask, dist, 1.0)
+            w = stiffness * (1.0 - d / cutoff) ** 2
+            contrib = np.where(mask[..., None], (w / d)[..., None] * delta, 0.0)
+            acc = contrib.sum(axis=2)              # (buckets, cap, 3)
+
+            new_vel = vel + acc * dt
+            new_pos = pos + new_vel * dt
+            self._check_block_stays_in_buckets(block, new_pos, centre_valid)
+
+            updated = np.concatenate(
+                [centre[..., 0:1], new_pos, new_vel, acc], axis=-1
+            )
+            updated = np.where(centre_valid[..., None], updated, 0.0)
+            out = np.zeros((n, self.components))
+            out[:, 0] = counts[4]
+            out[:, 1:] = updated.reshape(n, cap * _FIELDS_PER_PARTICLE)
+            k.scatter(out)
+        return self.refresh(warmup)
+
+    def _check_block_stays_in_buckets(self, block, new_pos, valid) -> None:
+        """Vectorized version of the per-particle bucket-containment guard."""
+        sx, sy, _sz = block.shape
+        coords = np.indices((sx, sy, 1)).reshape(3, -1)
+        size = self.bucket_size
+        bx = (block.origin[0] + coords[0]) * size
+        by = (block.origin[1] + coords[1]) * size
+        x = new_pos[..., 0]
+        y = new_pos[..., 1]
+        escaped = valid & (
+            (x < bx[:, None] - 1e-9)
+            | (x > bx[:, None] + size + 1e-9)
+            | (y < by[:, None] - 1e-9)
+            | (y > by[:, None] + size + 1e-9)
+        )
+        if escaped.any():
+            raise RuntimeError(_ESCAPE_MESSAGE)
+
+    # ------------------------------------------------------------------
+    def kernel_scalar(self, warmup: bool) -> bool:
+        """Per-bucket/per-particle reference kernel."""
         dt = self.dt
         cutoff = self.cutoff
         stiffness = self.stiffness
@@ -103,7 +196,4 @@ class ParticleSimulation(ParticleTarget):
         if not (bx * size - 1e-9 <= x <= (bx + 1) * size + 1e-9) or not (
             by * size - 1e-9 <= y <= (by + 1) * size + 1e-9
         ):
-            raise RuntimeError(
-                "particle left its bucket; reduce dt/loops (the prototype, like the "
-                "paper's, does not implement particle movement between buckets)"
-            )
+            raise RuntimeError(_ESCAPE_MESSAGE)

@@ -190,11 +190,16 @@ class DistributedMemoryAspect(LayerAspect):
         result = jp.proceed()
         world.barrier()
         trace.collectives += 1
-        # … then use the Dry-run record to prefetch, with the owners' new
-        # data, every page this rank is known to need for the next step.
+        # … then prefetch, with the owners' new data, every page this rank
+        # is known to need for the next step: the Dry-run record (pages
+        # that were observed missing) united with the halo pages of every
+        # compiled access plan — once a sweep is compiled its full remote
+        # page set is known statically, so the whole halo moves here, one
+        # bulk page snapshot per remote page, before the next step begins.
         env.invalidate_buffer_only()
         with self._lock:
             prefetch = set(self._dry_run.get(rank, ()))
+        prefetch |= env.plan_page_requirements()
         self._fetch_pages(env, rank, prefetch, trace)
         return result
 

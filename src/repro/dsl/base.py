@@ -19,14 +19,17 @@ machinery, collected here:
 
 from __future__ import annotations
 
+import itertools
 import math
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from operator import add
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..annotation.target import TargetApplication
 from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.env import Env
+from ..memory.mmat import compile_address_plan, compile_offsets_plan
 from ..memory.zorder import morton_encode
 from ..runtime.task import current_task
 from ..runtime.tracing import global_trace
@@ -37,7 +40,7 @@ __all__ = ["DslTarget", "BlockKernel", "BlockSpec"]
 class BlockSpec:
     """Static description of one Block the DSL wants to materialise."""
 
-    __slots__ = ("origin", "shape", "logical_key", "grid_coords")
+    __slots__ = ("origin", "shape", "logical_key", "grid_coords", "_zorder")
 
     def __init__(
         self,
@@ -52,9 +55,14 @@ class BlockSpec:
         #: Coordinates of the block in units of blocks; the Z-order index
         #: of these coordinates drives the task assignment.
         self.grid_coords = tuple(int(c) for c in grid_coords)
+        self._zorder: Optional[int] = None
 
     def zorder(self) -> int:
-        return morton_encode(tuple(max(c, 0) for c in self.grid_coords))
+        # Morton encoding is pure in grid_coords; cache it because the
+        # task assignment evaluates it once per spec per rank warm-up.
+        if self._zorder is None:
+            self._zorder = morton_encode(tuple(max(c, 0) for c in self.grid_coords))
+        return self._zorder
 
 
 class BlockKernel:
@@ -70,6 +78,15 @@ class BlockKernel:
     grid-point update the cost model is calibrated on) one ``set``
     represents; grid DSLs use 1, the particle DSL uses the per-bucket
     pair-interaction count so the cost model sees the true compute load.
+
+    Besides the scalar accessors the kernel offers a **batched API**
+    (:meth:`gather` / :meth:`gather_global` / :meth:`scatter` /
+    :meth:`sweep`): when MMAT is enabled the access pattern is compiled
+    once into an :class:`~repro.memory.mmat.AccessPlan` and every later
+    iteration executes as a handful of NumPy gathers instead of
+    ``size_x * size_y`` scalar calls.  Without MMAT (or after
+    ``MMAT.reset`` until the next compile) the batched calls fall back
+    transparently to the scalar path, element by element.
     """
 
     __slots__ = ("env", "block", "origin", "_trace", "_work")
@@ -84,7 +101,7 @@ class BlockKernel:
     # ------------------------------------------------------------------
     def get(self, local: Sequence[int], inside: bool = False):
         """Read the element at block-relative coordinates ``local``."""
-        addr = tuple(o + l for o, l in zip(self.origin, local))
+        addr = tuple(map(add, self.origin, local))
         return self.env.read_from(self.block, addr, assume_inside=bool(inside))
 
     def get_global(self, addr: Sequence[int], inside: bool = False):
@@ -93,7 +110,7 @@ class BlockKernel:
 
     def get_direct(self, local: Sequence[int]):
         """Read skipping the Env search entirely (the paper's ``GetDD``)."""
-        addr = tuple(o + l for o, l in zip(self.origin, local))
+        addr = tuple(map(add, self.origin, local))
         return self.env.read_from(self.block, addr, assume_inside=True)
 
     def set(self, local: Sequence[int], value) -> None:
@@ -104,6 +121,131 @@ class BlockKernel:
     def set_global(self, addr: Sequence[int], value) -> None:
         self.block.write(tuple(addr), value)
         self._trace.updates += self._work
+
+    # ------------------------------------------------------------------
+    # batched (vectorized) API
+    # ------------------------------------------------------------------
+    def gather(self, offsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Read every element of the Block at each stencil ``offset``, in bulk.
+
+        Returns ``(len(offsets),) + shape`` for single-component Blocks,
+        ``(len(offsets), element_count, components)`` otherwise.  With
+        MMAT enabled the offsets are compiled once into an access plan;
+        otherwise every site is read through the scalar path.
+        """
+        offsets = tuple(tuple(int(c) for c in off) for off in offsets)
+        env = self.env
+        block = self.block
+        mmat = env.mmat
+        if not mmat.enabled:
+            out = self._gather_offsets_scalar(offsets)
+        else:
+            key = (block.block_id, "offsets", offsets)
+            plan = mmat.plan_lookup(key)
+            if plan is None:
+                plan = compile_offsets_plan(env, block, offsets)
+                mmat.plan_store(key, plan)
+                self._trace.plan_compiles += 1
+            out = plan.execute(env)
+            mmat.note_execution(plan)
+            self._trace.plan_gathers += 1
+            self._trace.plan_sites += plan.n_sites
+        if block.components == 1:
+            return out.reshape((len(offsets),) + block.shape)
+        return out.reshape(len(offsets), block.element_count, block.components)
+
+    def gather_global(self, addresses, *, key: Optional[str] = None) -> np.ndarray:
+        """Bulk-read arbitrary *global* addresses (indirect neighbours).
+
+        ``addresses`` is an integer array (any shape for 1-D address
+        spaces; last axis = coordinates otherwise); the result has the
+        site shape of ``addresses`` (plus a components axis for
+        multi-component Blocks).  ``key`` names the address table for
+        plan caching — pass it whenever the table is static (Assumption
+        II), e.g. ``key="neighbors"`` for the USGrid neighbour lists.
+        Without a ``key`` the plan is compiled per call and never
+        cached (a content-derived cache key would retain one plan per
+        distinct table for the life of the memo, and every stale plan's
+        halo pages would keep being prefetched).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        block = self.block
+        sites_shape = addresses.shape if block.ndim == 1 else addresses.shape[:-1]
+        env = self.env
+        mmat = env.mmat
+        if not mmat.enabled:
+            out = self._gather_addresses_scalar(addresses)
+        else:
+            plan = None
+            if key is not None:
+                cache_key = (block.block_id, "addresses", key, addresses.shape)
+                plan = mmat.plan_lookup(cache_key)
+            if plan is None:
+                plan = compile_address_plan(env, block, addresses)
+                if key is not None:
+                    mmat.plan_store(cache_key, plan)
+                self._trace.plan_compiles += 1
+            out = plan.execute(env)
+            mmat.note_execution(plan)
+            self._trace.plan_gathers += 1
+            self._trace.plan_sites += plan.n_sites
+        if block.components == 1:
+            return out.reshape(sites_shape)
+        return out.reshape(sites_shape + (block.components,))
+
+    def scatter(self, values: np.ndarray) -> None:
+        """Write a whole block of results into the write buffer at once.
+
+        Accepts ``shape`` (single-component) or ``(element_count,
+        components)`` arrays; the write-buffer pages are marked dirty
+        exactly as per-element :meth:`set` calls would.
+        """
+        block = self.block
+        data = np.asarray(values).reshape(block.element_count, block.components)
+        block.load_dense(data, into_write=True)
+        self._trace.updates += self._work * block.element_count
+
+    def sweep(self, fn: Callable[..., np.ndarray], offsets: Sequence[Sequence[int]]) -> None:
+        """One full-block update: gather ``offsets``, apply ``fn``, scatter.
+
+        ``fn`` receives one array per offset (each shaped like the
+        Block) and must return the new field, shaped like the Block.
+        """
+        self.scatter(fn(*self.gather(offsets)))
+
+    # -- scalar fallbacks (MMAT disabled: no memoization allowed) ----------
+    def _gather_offsets_scalar(self, offsets) -> np.ndarray:
+        env = self.env
+        block = self.block
+        origin = self.origin
+        shape = block.shape
+        n_elem = block.element_count
+        out = np.empty((len(offsets) * n_elem, block.components), dtype=np.float64)
+        locals_iter = list(itertools.product(*(range(s) for s in shape)))
+        for oi, off in enumerate(offsets):
+            base = oi * n_elem
+            for linear, local in enumerate(locals_iter):
+                tgt = tuple(map(add, local, off))
+                inside = all(0 <= t < s for t, s in zip(tgt, shape))
+                addr = tuple(map(add, origin, tgt))
+                out[base + linear] = env.read_from(block, addr, assume_inside=inside)
+        env.mmat.note_fallback(len(offsets) * n_elem)
+        self._trace.plan_fallback_sites += len(offsets) * n_elem
+        return out
+
+    def _gather_addresses_scalar(self, addresses: np.ndarray) -> np.ndarray:
+        env = self.env
+        block = self.block
+        nd = block.ndim
+        flat = addresses.reshape(-1) if nd == 1 else addresses.reshape(-1, nd)
+        n_sites = flat.shape[0]
+        out = np.empty((n_sites, block.components), dtype=np.float64)
+        for site in range(n_sites):
+            addr = (int(flat[site]),) if nd == 1 else tuple(int(c) for c in flat[site])
+            out[site] = env.read_from(block, addr, assume_inside=False)
+        env.mmat.note_fallback(n_sites)
+        self._trace.plan_fallback_sites += n_sites
+        return out
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +279,19 @@ class DslTarget(TargetApplication):
     def __init__(self, config: Optional[dict] = None) -> None:
         super().__init__(config)
         self.loops: int = int(self.config.get("loops", 4))
+        #: Kernel implementation the app should run: ``"vectorized"``
+        #: (batched gather/scatter through access plans, the default) or
+        #: ``"scalar"`` (the per-element reference path of the paper's
+        #: Listing 1).  Apps consult this in their ``kernel``.
+        self.kernel_mode: str = str(self.config.get("kernel", "vectorized"))
+        if self.kernel_mode not in ("vectorized", "scalar"):
+            raise ValueError(
+                f"kernel must be 'vectorized' or 'scalar', got {self.kernel_mode!r}"
+            )
+
+    @property
+    def vectorized(self) -> bool:
+        return self.kernel_mode == "vectorized"
 
     # ------------------------------------------------------------------
     # task assignment (paper §IV-C: Z-order done in the DSL layer)
@@ -150,7 +305,13 @@ class DslTarget(TargetApplication):
         partition).  Returns ``(spec, task_id)`` pairs in Z-order.
         """
         total = max(self.total_tasks, 1)
-        ordered = sorted(specs, key=BlockSpec.zorder)
+        keys = [spec.zorder() for spec in specs]
+        # 1-D DSLs (and pre-sorted spec lists in general) are already in
+        # Z-order; skip the re-sort that shows up in warm-up profiles.
+        if all(a <= b for a, b in zip(keys, keys[1:])):
+            ordered = list(specs)
+        else:
+            ordered = [spec for _, spec in sorted(zip(keys, specs), key=lambda kv: kv[0])]
         per_task = math.ceil(len(ordered) / total)
         assignment: List[Tuple[BlockSpec, int]] = []
         for position, spec in enumerate(ordered):

@@ -28,7 +28,7 @@ from .errors import (
     PoolCorruptionError,
     PoolExhaustedError,
 )
-from .mmat import MMAT
+from .mmat import MMAT, AccessPlan, PlanSegment, compile_address_plan, compile_offsets_plan
 from .page import Page, PageKey
 from .pool import Chunk, MemoryPool, PoolGroup, PoolStats
 from .zorder import (
@@ -61,6 +61,10 @@ __all__ = [
     "Env",
     "EnvStats",
     "MMAT",
+    "AccessPlan",
+    "PlanSegment",
+    "compile_offsets_plan",
+    "compile_address_plan",
     "Page",
     "PageKey",
     "Chunk",

@@ -105,6 +105,10 @@ class Env:
         }
         self.stats = EnvStats()
         self.mmat = MMAT(enabled=mmat_enabled)
+        #: Per-iteration cache of dense read-buffer copies used by access
+        #: plans; invalidated whenever read buffers can change (refresh
+        #: swap, page install, buffer-only invalidation).
+        self._dense_cache: Dict[int, np.ndarray] = {}
         #: Pages found missing (non-existent / not-yet-valid) since the
         #: last refresh.  AspectType III advice consumes this list.
         self.missing_pages: Set[PageKey] = set()
@@ -198,6 +202,7 @@ class Env:
         numerical results are discarded.
         """
         self.stats.refreshes += 1
+        self._dense_cache.clear()
         if self.missing_pages:
             self.last_failed_pages = set(self.missing_pages)
             self.missing_pages.clear()
@@ -227,29 +232,39 @@ class Env:
         "the data is undoubtedly contained in the start Block": the Env
         search is skipped entirely.
         """
-        self.stats.reads += 1
+        # This is the hottest scalar path of the platform; localise the
+        # stats object and skip the relative-tuple construction entirely
+        # when MMAT is disabled (it is only ever used as a memo key).
+        stats = self.stats
+        stats.reads += 1
         if assume_inside:
-            self.stats.in_block_reads += 1
+            stats.in_block_reads += 1
             return start.read(addr)
 
-        relative = tuple(a - o for a, o in zip(addr, start.origin))
-        memo_block = self.mmat.lookup(start.block_id, relative)
-        if memo_block is not None:
-            self.stats.mmat_hits += 1
-            return self._read_resolved(memo_block, addr)
+        mmat = self.mmat
+        if mmat.enabled:
+            relative = tuple(a - o for a, o in zip(addr, start.origin))
+            memo_block = mmat.lookup(start.block_id, relative)
+            if memo_block is not None:
+                stats.mmat_hits += 1
+                return self._read_resolved(memo_block, addr)
+        else:
+            relative = None
 
         if start.holds_data and start.contains(addr):
-            self.stats.in_block_reads += 1
-            self.mmat.remember(start.block_id, relative, start)
+            stats.in_block_reads += 1
+            if relative is not None:
+                mmat.remember(start.block_id, relative, start)
             return start.read(addr)
 
-        self.stats.out_of_block_reads += 1
+        stats.out_of_block_reads += 1
         target = self.find_block(addr, start=start)
         if target is None:
             raise AddressError(
                 f"no block of Env {self.name!r} contains address {tuple(addr)}"
             )
-        self.mmat.remember(start.block_id, relative, target)
+        if relative is not None:
+            mmat.remember(start.block_id, relative, target)
         return self._read_resolved(target, addr)
 
     def _read_resolved(self, block: Block, addr: Sequence[int]):
@@ -336,12 +351,44 @@ class Env:
         if not isinstance(block, DataBlock):
             raise EnvError(f"page install requested on non-data block {block.name!r}")
         block.page_fill(key.page_index, data)
+        self._dense_cache.pop(key.block_id, None)
 
     def invalidate_buffer_only(self) -> None:
         """Mark every Buffer-only Block stale (done at each step boundary)."""
         for block in self.data_blocks(include_buffer_only=True):
             if isinstance(block, BufferOnlyBlock):
                 block.invalidate()
+                self._dense_cache.pop(block.block_id, None)
+
+    # ------------------------------------------------------------------
+    # bulk access (used by compiled access plans)
+    # ------------------------------------------------------------------
+    def dense_read(self, block: DataBlock) -> np.ndarray:
+        """Contiguous ``(elements, components)`` copy of a Block's read buffer.
+
+        Cached per iteration so a plan gathering from the same source
+        Block several times (one segment per stencil offset) pays for a
+        single page-assembly pass; the cache is invalidated on refresh,
+        page install and Buffer-only invalidation.
+        """
+        cached = self._dense_cache.get(block.block_id)
+        if cached is None:
+            cached = block.buffer.read_buffer.dense()
+            self._dense_cache[block.block_id] = cached
+        return cached
+
+    def plan_page_requirements(self) -> Set[PageKey]:
+        """Union of the Buffer-only (halo) pages every compiled plan reads.
+
+        The distributed-memory aspect merges this set into its Dry-run
+        prefetch: once a plan is compiled, the full halo of the sweep is
+        known statically and can be bulk-fetched one page per message,
+        without waiting for a failed refresh to reveal each page.
+        """
+        needed: Set[PageKey] = set()
+        for plan in self.mmat.plans.values():
+            needed.update(plan.remote_pages())
+        return needed
 
     # ------------------------------------------------------------------
     # accounting (Fig. 12)

@@ -1,4 +1,4 @@
-"""MMAT — Memorization of Memory Access Type.
+"""MMAT — Memorization of Memory Access Type — and compiled access plans.
 
 "The platform has a function called Memorization of memory access type
 (MMAT) that automates to omit Env searches […] by memorizing for each
@@ -12,6 +12,16 @@ says the memory-access pattern is static across iterations, the second
 and later iterations resolve almost every access from the memo instead
 of searching the Env tree.
 
+Access plans push the same assumption one step further: once every site
+of a whole-block sweep has been resolved, the per-site memo can be
+*compiled* into a handful of NumPy index arrays (one gather per source
+Block plus a precomputed constant table for Arithmetic/Static boundary
+sites), and the whole sweep executes as bulk array operations instead
+of ``size_x * size_y`` scalar ``get`` calls.  Plans are cached on the
+:class:`MMAT` instance, so :meth:`MMAT.reset` — called by the warm-up
+macro, or by end users when the access pattern changes — invalidates
+the compiled plans together with the scalar memo.
+
 MMAT does **not** detect access-pattern changes; end users must call
 :meth:`MMAT.reset` when the pattern changes (the annotation library's
 warm-up macro does this automatically, matching the paper's
@@ -21,24 +31,392 @@ macro is called").
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["MMAT"]
+import numpy as np
 
+from .address import GlobalAddress
+from .block import BufferOnlyBlock, DataBlock, ReferenceBlock
+from .errors import AddressError
+from .page import PageKey
+
+__all__ = [
+    "MMAT",
+    "AccessPlan",
+    "PlanSegment",
+    "compile_offsets_plan",
+    "compile_address_plan",
+]
+
+
+class PlanSegment:
+    """Gather instructions against one source Block of an :class:`AccessPlan`.
+
+    ``src_idx`` are flat element indices into the source Block's dense
+    read buffer; ``dst_idx`` are the matching flat site indices of the
+    plan output.  For Buffer-only sources the segment also keeps the
+    page indices it touches so the executor can do one bulk validity
+    check per iteration instead of one per element.
+    """
+
+    __slots__ = ("block", "src_idx", "dst_idx", "src_pages", "check_pages")
+
+    def __init__(self, block: DataBlock, src_idx, dst_idx) -> None:
+        self.block = block
+        self.src_idx = np.ascontiguousarray(src_idx, dtype=np.intp)
+        self.dst_idx = np.ascontiguousarray(dst_idx, dtype=np.intp)
+        if isinstance(block, BufferOnlyBlock):
+            self.src_pages = self.src_idx // block.page_elements
+            self.check_pages = np.unique(self.src_pages)
+        else:
+            self.src_pages = None
+            self.check_pages = None
+
+    @property
+    def nbytes(self) -> int:
+        total = self.src_idx.nbytes + self.dst_idx.nbytes
+        if self.src_pages is not None:
+            total += self.src_pages.nbytes + self.check_pages.nbytes
+        return total
+
+
+class AccessPlan:
+    """A compiled whole-block access pattern, executable as bulk NumPy ops."""
+
+    __slots__ = (
+        "shape",
+        "n_sites",
+        "components",
+        "dtype",
+        "segments",
+        "const_dst",
+        "const_vals",
+        "in_block_sites",
+        "resolved_sites",
+        "out_of_block_sites",
+    )
+
+    def __init__(
+        self,
+        *,
+        shape: Tuple[int, ...],
+        n_sites: int,
+        components: int,
+        dtype,
+        segments: List[PlanSegment],
+        const_dst: Optional[np.ndarray],
+        const_vals: Optional[np.ndarray],
+        in_block_sites: int,
+        resolved_sites: int,
+        out_of_block_sites: int,
+    ) -> None:
+        self.shape = tuple(shape)
+        self.n_sites = int(n_sites)
+        self.components = int(components)
+        self.dtype = np.dtype(dtype)
+        self.segments = segments
+        self.const_dst = const_dst
+        self.const_vals = const_vals
+        #: Sites served by the start Block itself (the scalar path's
+        #: "surely inside" / in-block reads).
+        self.in_block_sites = int(in_block_sites)
+        #: Sites that required an Env resolution at compile time — the
+        #: sites the scalar path would serve from the MMAT memo.
+        self.resolved_sites = int(resolved_sites)
+        self.out_of_block_sites = int(out_of_block_sites)
+
+    # ------------------------------------------------------------------
+    def execute(self, env) -> np.ndarray:
+        """Run the plan against the Env's current read buffers.
+
+        Returns a ``(n_sites, components)`` array in plan site order.
+        Buffer-only sites whose pages have not arrived yet are recorded
+        in ``env.missing_pages`` (the following refresh fails and the
+        step is re-executed, exactly as on the scalar path) and filled
+        with placeholder zeros.
+        """
+        out = np.empty((self.n_sites, self.components), dtype=self.dtype)
+        if self.const_dst is not None:
+            out[self.const_dst] = self.const_vals
+        missing = 0
+        for seg in self.segments:
+            block = seg.block
+            vals = env.dense_read(block)[seg.src_idx]
+            if seg.check_pages is not None and not block.is_valid:
+                pages = block.buffer.read_buffer.pages
+                bad = [int(p) for p in seg.check_pages if not pages[p].valid]
+                if bad:
+                    block_id = block.block_id
+                    for p in bad:
+                        env.missing_pages.add(PageKey(block_id, p))
+                    missing += len(bad)
+                    vals[np.isin(seg.src_pages, bad)] = 0.0
+            out[seg.dst_idx] = vals
+        stats = env.stats
+        stats.reads += self.n_sites
+        stats.in_block_reads += self.in_block_sites
+        stats.mmat_hits += self.resolved_sites
+        stats.missing_recorded += missing
+        return out
+
+    # ------------------------------------------------------------------
+    def remote_pages(self) -> List[PageKey]:
+        """Page keys of every Buffer-only page this plan reads (halo set)."""
+        keys: List[PageKey] = []
+        for seg in self.segments:
+            if seg.check_pages is not None:
+                block_id = seg.block.block_id
+                keys.extend(PageKey(block_id, int(p)) for p in seg.check_pages)
+        return keys
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the plan's index/constant arrays (Fig. 12 bench)."""
+        total = sum(seg.nbytes for seg in self.segments)
+        if self.const_dst is not None:
+            total += self.const_dst.nbytes + self.const_vals.nbytes
+        return total
+
+
+# ----------------------------------------------------------------------
+# plan compilation
+# ----------------------------------------------------------------------
+
+def _classify(env, target, addr: Tuple[int, ...], depth: int = 0):
+    """Classify a resolved Block: a gatherable data source or a constant.
+
+    Reference blocks are followed through their (static) address mapping
+    so mirror/Neumann boundaries compile down to gathers on the mapped
+    interior Block; Arithmetic and Static blocks are evaluated once at
+    compile time (their value is a pure function of the address —
+    Assumption II makes the result valid for every later iteration).
+    """
+    if isinstance(target, DataBlock):
+        return ("data", target, target.element_index(addr))
+    if isinstance(target, ReferenceBlock):
+        if depth >= 4:
+            raise AddressError(
+                f"reference chain at {addr} too deep to compile into an access plan"
+            )
+        mapped = tuple(target.mapper(GlobalAddress(addr)))
+        if target.target is not None and target.target.contains(mapped):
+            nxt = target.target
+        else:
+            nxt = env.find_block(mapped, start=env.root)
+        if nxt is None:
+            raise AddressError(
+                f"reference block {target.name!r} cannot resolve mapped address {mapped}"
+            )
+        return _classify(env, nxt, mapped, depth + 1)
+    value = np.asarray(target.read(addr), dtype=np.float64).reshape(-1)
+    return ("const", None, value)
+
+
+def _resolve_site(env, start, addr: Tuple[int, ...]):
+    """Resolve one out-of-block site the way the scalar path would.
+
+    Consults (and populates) the MMAT memo so compile-time resolution
+    and scalar resolution share the same record, then classifies the
+    target for the plan.
+    """
+    mmat = env.mmat
+    relative = tuple(a - o for a, o in zip(addr, start.origin))
+    target = mmat.lookup(start.block_id, relative)
+    if target is None:
+        if start.holds_data and start.contains(addr):
+            target = start
+        else:
+            target = env.find_block(addr, start=start)
+        if target is None:
+            raise AddressError(
+                f"no block of Env {env.name!r} contains address {tuple(addr)}"
+            )
+        mmat.remember(start.block_id, relative, target)
+    return _classify(env, target, addr)
+
+
+class _PlanBuilder:
+    """Accumulates per-source gather lists while sites are resolved."""
+
+    def __init__(self, block: DataBlock) -> None:
+        self.block = block
+        self.sources: Dict[int, list] = {}
+        self.const_dst: List[int] = []
+        self.const_vals: List[np.ndarray] = []
+        self.in_block_sites = 0
+        self.resolved_sites = 0
+        self.out_of_block_sites = 0
+
+    def add_bulk(self, source: DataBlock, src_idx, dst_idx) -> None:
+        entry = self.sources.setdefault(source.block_id, [source, [], []])
+        entry[1].append(np.asarray(src_idx, dtype=np.intp))
+        entry[2].append(np.asarray(dst_idx, dtype=np.intp))
+
+    def add_site(self, env, addr: Tuple[int, ...], dst: int) -> None:
+        kind, target, payload = _resolve_site(env, self.block, addr)
+        if kind == "const":
+            self.const_dst.append(dst)
+            self.const_vals.append(payload)
+        else:
+            self.add_bulk(target, [payload], [dst])
+            if target is self.block:
+                self.in_block_sites += 1
+            else:
+                self.out_of_block_sites += 1
+        self.resolved_sites += 1
+
+    def build(self, *, n_sites: int) -> AccessPlan:
+        block = self.block
+        segments = [
+            PlanSegment(source, np.concatenate(srcs), np.concatenate(dsts))
+            for source, srcs, dsts in self.sources.values()
+        ]
+        components = getattr(block, "components", 1)
+        dtype = block.buffer.read_buffer.dtype
+        if self.const_dst:
+            const_dst = np.asarray(self.const_dst, dtype=np.intp)
+            const_vals = np.vstack(
+                [np.broadcast_to(v, (components,)) for v in self.const_vals]
+            ).astype(dtype)
+        else:
+            const_dst = None
+            const_vals = None
+        return AccessPlan(
+            shape=block.shape,
+            n_sites=n_sites,
+            components=components,
+            dtype=dtype,
+            segments=segments,
+            const_dst=const_dst,
+            const_vals=const_vals,
+            in_block_sites=self.in_block_sites,
+            resolved_sites=self.resolved_sites,
+            out_of_block_sites=self.out_of_block_sites,
+        )
+
+
+def compile_offsets_plan(env, block: DataBlock, offsets: Sequence[Tuple[int, ...]]) -> AccessPlan:
+    """Compile a stencil sweep: every element of ``block``, per offset.
+
+    Site order is offset-major (``site = offset_index * element_count +
+    linear_element_index``), with elements in the block's row-major
+    order, so the executed output reshapes directly to
+    ``(len(offsets),) + block.shape``.
+    """
+    shape = block.shape
+    nd = len(shape)
+    n_elem = block.element_count
+    coords = np.indices(shape, dtype=np.int64).reshape(nd, n_elem)
+    shape_col = np.asarray(shape, dtype=np.int64)[:, None]
+    origin = block.origin
+    builder = _PlanBuilder(block)
+
+    for oi, off in enumerate(offsets):
+        if len(off) != nd:
+            raise AddressError(
+                f"offset {tuple(off)} does not match block dimensionality {nd}"
+            )
+        shifted = coords + np.asarray(off, dtype=np.int64)[:, None]
+        inside = np.all((shifted >= 0) & (shifted < shape_col), axis=0)
+        base = oi * n_elem
+        in_idx = np.nonzero(inside)[0]
+        if in_idx.size:
+            src_flat = np.ravel_multi_index(
+                tuple(shifted[d, in_idx] for d in range(nd)), shape
+            )
+            builder.add_bulk(block, src_flat, base + in_idx)
+            builder.in_block_sites += int(in_idx.size)
+        for e in np.nonzero(~inside)[0]:
+            addr = tuple(int(origin[d] + shifted[d, e]) for d in range(nd))
+            builder.add_site(env, addr, base + int(e))
+    return builder.build(n_sites=len(offsets) * n_elem)
+
+
+def compile_address_plan(env, block: DataBlock, addresses) -> AccessPlan:
+    """Compile an indirect sweep: arbitrary global addresses per site.
+
+    ``addresses`` is an integer array; for 1-D address spaces any shape
+    is accepted (sites are taken in row-major order), for N-D blocks the
+    last axis must hold the address coordinates.  Duplicate addresses
+    are resolved once (``np.unique``) and fanned back out through the
+    inverse index, so compilation cost scales with the number of
+    *distinct* addresses, not sites.
+    """
+    nd = block.ndim
+    addr_arr = np.asarray(addresses, dtype=np.int64)
+    if nd == 1:
+        flat = addr_arr.reshape(-1, 1)
+    else:
+        if addr_arr.shape[-1] != nd:
+            raise AddressError(
+                f"address array last axis {addr_arr.shape[-1]} does not match "
+                f"block dimensionality {nd}"
+            )
+        flat = addr_arr.reshape(-1, nd)
+    n_sites = flat.shape[0]
+    uniq, inv = np.unique(flat, axis=0, return_inverse=True)
+    inv = inv.reshape(-1)
+    builder = _PlanBuilder(block)
+
+    # Resolve each distinct address once, then gather all duplicate
+    # sites of that address with one index expression.
+    for u in range(uniq.shape[0]):
+        addr = tuple(int(c) for c in uniq[u])
+        dst = np.nonzero(inv == u)[0]
+        kind, target, payload = (
+            ("data", block, block.element_index(addr))
+            if block.contains(addr)
+            else _resolve_site(env, block, addr)
+        )
+        if kind == "const":
+            builder.const_dst.extend(int(d) for d in dst)
+            builder.const_vals.extend([payload] * dst.size)
+        else:
+            builder.add_bulk(target, np.full(dst.size, payload, dtype=np.intp), dst)
+            if target is block:
+                builder.in_block_sites += int(dst.size)
+            else:
+                builder.out_of_block_sites += int(dst.size)
+    # Indirect accesses carry no static "inside" hint, so the scalar
+    # path would resolve *every* site through the memo.
+    builder.resolved_sites = n_sites
+    return builder.build(n_sites=n_sites)
+
+
+# ----------------------------------------------------------------------
+# the memo itself
+# ----------------------------------------------------------------------
 
 class MMAT:
-    """Per-Env memo of memory-access resolutions."""
+    """Per-Env memo of memory-access resolutions plus compiled plans."""
 
-    __slots__ = ("enabled", "_memo", "hits", "misses", "resets")
+    __slots__ = (
+        "enabled",
+        "_memo",
+        "_plans",
+        "hits",
+        "misses",
+        "resets",
+        "plan_compiles",
+        "plan_executions",
+        "plan_exec_sites",
+        "fallback_sites",
+    )
 
     def __init__(self, enabled: bool = False) -> None:
         #: MMAT is opt-in: "end-users can use this function by explicitly
         #: enabling it".
         self.enabled = bool(enabled)
         self._memo: Dict[Tuple[int, Tuple[int, ...]], object] = {}
+        #: Compiled access plans, keyed by ``(block_id, kind, signature)``.
+        self._plans: Dict[tuple, AccessPlan] = {}
         self.hits = 0
         self.misses = 0
         self.resets = 0
+        self.plan_compiles = 0
+        self.plan_executions = 0
+        self.plan_exec_sites = 0
+        self.fallback_sites = 0
 
     # ------------------------------------------------------------------
     def key(self, start_block_id: int, relative: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...]]:
@@ -60,25 +438,75 @@ class MMAT:
         if self.enabled:
             self._memo[(start_block_id, relative)] = block
 
+    # ------------------------------------------------------------------
+    # compiled plans
+    # ------------------------------------------------------------------
+    def plan_lookup(self, key: tuple) -> Optional[AccessPlan]:
+        """Return the compiled plan for ``key``, or None (compile needed)."""
+        if not self.enabled:
+            return None
+        return self._plans.get(key)
+
+    def plan_store(self, key: tuple, plan: AccessPlan) -> None:
+        """Cache a freshly compiled plan (no-op while MMAT is disabled)."""
+        if self.enabled:
+            self._plans[key] = plan
+            self.plan_compiles += 1
+
+    def note_execution(self, plan: AccessPlan) -> None:
+        """Account one vectorized plan execution."""
+        self.plan_executions += 1
+        self.plan_exec_sites += plan.n_sites
+
+    def note_fallback(self, sites: int) -> None:
+        """Account ``sites`` element accesses served by the scalar fallback."""
+        self.fallback_sites += int(sites)
+
+    @property
+    def plans(self) -> Dict[tuple, AccessPlan]:
+        """Read-only view of the compiled plans (used by prefetch advice)."""
+        return self._plans
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Forget every memorized resolution (access pattern changed)."""
+        """Forget every memorized resolution *and* every compiled plan
+        (the access pattern changed)."""
         self._memo.clear()
+        self._plans.clear()
         self.resets += 1
 
     def __len__(self) -> int:
         return len(self._memo)
 
     def memory_bytes(self) -> int:
-        """Rough footprint of the memo table (reported in the Fig. 12 bench)."""
+        """Rough footprint of the memo table and the compiled plan arrays
+        (reported in the Fig. 12 bench)."""
         # Key: 2 small ints + tuple overhead; value: pointer.  A compact
         # estimate is sufficient for the memory-usage decomposition.
-        return 120 * len(self._memo)
+        total = 120 * len(self._memo)
+        total += sum(plan.nbytes for plan in self._plans.values())
+        return total
 
     def stats(self) -> dict:
+        lookups = self.hits + self.misses
+        plan_sites = sum(plan.n_sites for plan in self._plans.values())
+        vector_total = self.plan_exec_sites + self.fallback_sites
         return {
             "enabled": self.enabled,
             "entries": len(self._memo),
             "hits": self.hits,
             "misses": self.misses,
             "resets": self.resets,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "plans": len(self._plans),
+            "plan_sites": plan_sites,
+            "plan_compiles": self.plan_compiles,
+            "plan_executions": self.plan_executions,
+            "plan_exec_sites": self.plan_exec_sites,
+            "fallback_sites": self.fallback_sites,
+            #: Fraction of batched accesses actually served by compiled
+            #: plans (1.0 = fully vectorized, 0.0 = all scalar fallback).
+            "vectorized_fraction": (
+                self.plan_exec_sites / vector_total if vector_total else 0.0
+            ),
         }

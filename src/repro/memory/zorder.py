@@ -15,6 +15,7 @@ equivalent:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 __all__ = [
@@ -66,12 +67,24 @@ def pext(value: int, mask: int) -> int:
     return result
 
 
+@lru_cache(maxsize=None)
 def _dimension_mask(dim: int, ndim: int, nbits: int) -> int:
-    """Mask selecting every ``ndim``-th bit starting at ``dim`` over ``nbits`` groups."""
+    """Mask selecting every ``ndim``-th bit starting at ``dim`` over ``nbits`` groups.
+
+    Memoized: masks depend only on ``(dim, ndim, nbits)`` and encode
+    runs once per Block spec per warm-up, where mask construction used
+    to dominate the profile.
+    """
     mask = 0
     for i in range(nbits):
         mask |= 1 << (i * ndim + dim)
     return mask
+
+
+@lru_cache(maxsize=None)
+def _dimension_masks(ndim: int, nbits: int) -> Tuple[int, ...]:
+    """All per-dimension masks for one ``(ndim, nbits)`` pair, cached."""
+    return tuple(_dimension_mask(dim, ndim, nbits) for dim in range(ndim))
 
 
 def morton_encode(coords: Sequence[int], nbits: int = 21) -> int:
@@ -83,6 +96,7 @@ def morton_encode(coords: Sequence[int], nbits: int = 21) -> int:
     ndim = len(coords)
     if ndim == 0:
         raise ValueError("morton_encode requires at least one coordinate")
+    masks = _dimension_masks(ndim, nbits)
     code = 0
     for dim, coord in enumerate(coords):
         coord = int(coord)
@@ -90,7 +104,7 @@ def morton_encode(coords: Sequence[int], nbits: int = 21) -> int:
             raise ValueError(f"morton_encode requires non-negative coordinates, got {coord}")
         if coord >= (1 << nbits):
             raise ValueError(f"coordinate {coord} does not fit in {nbits} bits")
-        code |= pdep(coord, _dimension_mask(dim, ndim, nbits))
+        code |= pdep(coord, masks[dim])
     return code
 
 
@@ -100,7 +114,8 @@ def morton_decode(code: int, ndim: int, nbits: int = 21) -> Tuple[int, ...]:
         raise ValueError("ndim must be positive")
     if code < 0:
         raise ValueError("Morton code must be non-negative")
-    return tuple(pext(code, _dimension_mask(dim, ndim, nbits)) for dim in range(ndim))
+    masks = _dimension_masks(ndim, nbits)
+    return tuple(pext(code, masks[dim]) for dim in range(ndim))
 
 
 def morton_encode_2d(x: int, y: int, nbits: int = 21) -> int:

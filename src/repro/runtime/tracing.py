@@ -53,6 +53,15 @@ class TaskCounters:
     env_searches: int = 0
     env_search_steps: int = 0
     mmat_hits: int = 0
+    #: Access-plan activity (MMAT §III-B6 pushed into compiled bulk
+    #: gathers): how many batched gathers executed a compiled plan, how
+    #: many element accesses those plans served, how many plans were
+    #: compiled, and how many batched accesses fell back to the scalar
+    #: path (MMAT disabled or plan invalidated mid-run).
+    plan_gathers: int = 0
+    plan_sites: int = 0
+    plan_compiles: int = 0
+    plan_fallback_sites: int = 0
     #: Qualitative access pattern of the workload ('contiguous'|'random'|'bucketed')
     #: recorded by the DSL layer, consumed by the shared-memory contention model.
     access_pattern: str = "contiguous"
@@ -132,6 +141,9 @@ class TraceRecorder:
             "recomputed_steps": self.total("recomputed_steps"),
             "mmat_hits": self.total("mmat_hits"),
             "env_searches": self.total("env_searches"),
+            "plan_gathers": self.total("plan_gathers"),
+            "plan_sites": self.total("plan_sites"),
+            "plan_fallback_sites": self.total("plan_fallback_sites"),
         }
 
 

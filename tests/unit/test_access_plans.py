@@ -1,0 +1,264 @@
+"""Unit tests for MMAT access-plan compilation and execution.
+
+The access-plan compiler turns the warm-up's per-site resolutions into
+bulk NumPy gather plans (the vectorized extension of the paper's MMAT,
+§III-B6 under Assumption II).  These tests exercise the compiler and
+executor directly on hand-built Envs: segment grouping, constant
+folding of Arithmetic/Static boundaries, Reference (mirror) chasing,
+Buffer-only (halo) validity handling, plan caching and the
+reset-invalidates-plans semantics the warm-up macro relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    ArithmeticBlock,
+    BufferOnlyBlock,
+    DataBlock,
+    Env,
+    GlobalAddress,
+    MMAT,
+    MemoryPool,
+    PageKey,
+    PoolGroup,
+    ReferenceBlock,
+    StaticDataBlock,
+    compile_address_plan,
+    compile_offsets_plan,
+)
+
+
+@pytest.fixture
+def plan_env() -> Env:
+    pool = PoolGroup([MemoryPool(4 * 1024 * 1024, name="plan-pool")])
+    return Env(allocator=pool, name="plan-env", mmat_enabled=True)
+
+
+def add_block(env, origin, shape=(4, 4), *, buffer_only=False, fill=None):
+    cls = BufferOnlyBlock if buffer_only else DataBlock
+    block = cls(origin, shape, components=1, page_elements=4, allocator=env.allocator)
+    env.add_data_block(block)
+    if fill is not None:
+        count = block.element_count
+        data = np.asarray(fill, dtype=np.float64).reshape(count, 1)
+        for buf in block.buffer.buffers:
+            buf.load_dense(data)
+            buf.clear_dirty()
+    return block
+
+
+def sequential(block):
+    """Fill a block with 0..n-1 by linear element index; returns the array."""
+    values = np.arange(block.element_count, dtype=np.float64)
+    for buf in block.buffer.buffers:
+        buf.load_dense(values.reshape(-1, 1))
+        buf.clear_dirty()
+    return values
+
+
+class TestOffsetsPlanCompilation:
+    def test_pure_interior_offset_is_one_segment(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        sequential(block)
+        plan = compile_offsets_plan(plan_env, block, [(0, 0)])
+        assert len(plan.segments) == 1
+        assert plan.segments[0].block is block
+        assert plan.n_sites == block.element_count
+        assert plan.in_block_sites == block.element_count
+        assert plan.resolved_sites == 0  # all sites statically inside
+
+    def test_execution_matches_scalar_reads(self, plan_env):
+        a = add_block(plan_env, (0, 0))
+        b = add_block(plan_env, (4, 0))
+        sequential(a)
+        sequential(b)
+        plan = compile_offsets_plan(plan_env, a, [(1, 0)])
+        out = plan.execute(plan_env).reshape(a.shape)
+        for i in range(4):
+            for j in range(4):
+                expected = plan_env.read_from(a, (i + 1, j))
+                assert out[i, j] == expected
+
+    def test_arithmetic_boundary_folds_to_constants(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        plan_env.add_boundary_block(
+            ArithmeticBlock((-1, -1), (6, 6), lambda addr: 7.5, name="ring")
+        )
+        plan = compile_offsets_plan(plan_env, block, [(0, -1)])
+        assert plan.const_dst is not None
+        assert np.all(plan.const_vals == 7.5)
+        out = plan.execute(plan_env).reshape(block.shape)
+        assert np.all(out[:, 0] == 7.5)  # j-1 of the first column is the ring
+
+    def test_static_boundary_folds_to_constants(self, plan_env):
+        block = add_block(plan_env, (0,), shape=(4,))
+        plan_env.add_boundary_block(StaticDataBlock((4,), (4,), 3.25, name="static"))
+        plan = compile_address_plan(plan_env, block, np.array([0, 4, 5]))
+        out = plan.execute(plan_env)
+        assert out[1] == 3.25 and out[2] == 3.25
+
+    def test_reference_mirror_compiles_to_data_gather(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        values = sequential(block)
+
+        def mirror(addr):
+            x, y = addr
+            return GlobalAddress((min(max(x, 0), 3), min(max(y, 0), 3)))
+
+        ref = ReferenceBlock((-1, -1), (6, 6), mirror, name="mirror")
+        plan_env.add_boundary_block(ref)
+        plan = compile_offsets_plan(plan_env, block, [(-1, 0)])
+        # Mirror sites resolve through the reference onto the block itself:
+        # a single data segment, no constants.
+        assert plan.const_dst is None
+        assert len(plan.segments) == 1 and plan.segments[0].block is block
+        out = plan.execute(plan_env).reshape(block.shape)
+        assert np.array_equal(out[0], values.reshape(4, 4)[0])  # clamped row
+
+    def test_multi_source_segments_group_by_block(self, plan_env):
+        a = add_block(plan_env, (0, 0))
+        b = add_block(plan_env, (4, 0))
+        c = add_block(plan_env, (0, 4))
+        plan_env.add_boundary_block(
+            ArithmeticBlock((-4, -4), (16, 16), lambda addr: 0.0, name="ring")
+        )
+        plan = compile_offsets_plan(plan_env, a, [(0, 0), (4, 0), (0, 4)])
+        sources = {seg.block.block_id for seg in plan.segments}
+        assert sources == {a.block_id, b.block_id, c.block_id}
+
+
+class TestHaloPlanExecution:
+    def test_invalid_halo_pages_are_recorded_and_zeroed(self, plan_env):
+        local = add_block(plan_env, (0, 0))
+        remote = add_block(plan_env, (4, 0), buffer_only=True)
+        sequential(local)
+        plan = compile_offsets_plan(plan_env, local, [(1, 0)])
+        remote.invalidate()
+        out = plan.execute(plan_env).reshape(local.shape)
+        # Sites landing in the invalid Buffer-only block read placeholder 0,
+        # and the pages are recorded so the next refresh fails.
+        assert np.all(out[3] == 0.0)
+        assert plan_env.missing_pages
+        assert all(key.block_id == remote.block_id for key in plan_env.missing_pages)
+
+    def test_valid_halo_pages_gather_normally(self, plan_env):
+        local = add_block(plan_env, (0, 0))
+        remote = add_block(plan_env, (4, 0), buffer_only=True)
+        sequential(local)
+        plan = compile_offsets_plan(plan_env, local, [(1, 0)])
+        remote.invalidate()
+        for page in range(remote.page_count()):
+            plan_env.page_install(
+                PageKey(remote.block_id, page), np.full((4, 1), 9.0)
+            )
+        out = plan.execute(plan_env).reshape(local.shape)
+        assert np.all(out[3] == 9.0)
+        assert not plan_env.missing_pages
+
+    def test_remote_pages_lists_halo_set(self, plan_env):
+        local = add_block(plan_env, (0, 0))
+        remote = add_block(plan_env, (4, 0), buffer_only=True)
+        plan = compile_offsets_plan(plan_env, local, [(1, 0)])
+        keys = plan.remote_pages()
+        assert keys and all(key.block_id == remote.block_id for key in keys)
+        plan_env.mmat.plan_store((local.block_id, "offsets", ((1, 0),)), plan)
+        assert plan_env.plan_page_requirements() == set(keys)
+
+
+class TestAddressPlans:
+    def test_duplicate_addresses_resolve_once(self, plan_env):
+        block = add_block(plan_env, (0,), shape=(8,))
+        sequential(block)
+        other = add_block(plan_env, (8,), shape=(8,))
+        sequential(other)
+        searches_before = plan_env.stats.searches
+        addrs = np.array([[9, 9], [9, 9], [0, 9]])
+        plan = compile_address_plan(plan_env, block, addrs)
+        # One resolution for address 9 despite four sites using it.
+        assert plan_env.stats.searches == searches_before + 1
+        out = plan.execute(plan_env).reshape(addrs.shape)
+        assert np.all(out == np.array([[1, 1], [1, 1], [0, 1]]))
+
+    def test_site_order_is_row_major(self, plan_env):
+        block = add_block(plan_env, (0,), shape=(8,))
+        sequential(block)
+        addrs = np.array([[3, 1], [7, 5]])
+        plan = compile_address_plan(plan_env, block, addrs)
+        out = plan.execute(plan_env).reshape(addrs.shape)
+        assert np.array_equal(out, addrs.astype(np.float64))
+
+
+class TestMMATPlanCache:
+    def test_reset_invalidates_plans_and_memo(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        mmat = plan_env.mmat
+        plan = compile_offsets_plan(plan_env, block, [(0, 0)])
+        mmat.plan_store(("k",), plan)
+        mmat.remember(block.block_id, (9, 9), block)
+        assert mmat.plan_lookup(("k",)) is plan
+        assert len(mmat) == 1
+        mmat.reset()
+        assert mmat.plan_lookup(("k",)) is None
+        assert len(mmat) == 0
+        assert mmat.resets == 1
+
+    def test_disabled_mmat_stores_no_plans(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        plan = compile_offsets_plan(plan_env, block, [(0, 0)])
+        memo = MMAT(enabled=False)
+        memo.plan_store(("k",), plan)
+        assert memo.plan_lookup(("k",)) is None
+        assert memo.plan_compiles == 0
+
+    def test_memory_bytes_accounts_plan_arrays(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        plan_env.add_boundary_block(
+            ArithmeticBlock((-1, -1), (6, 6), lambda addr: 0.0, name="ring")
+        )
+        mmat = plan_env.mmat
+        before = mmat.memory_bytes()
+        plan = compile_offsets_plan(plan_env, block, [(0, 0), (1, 0)])
+        mmat.plan_store(("k",), plan)
+        assert mmat.memory_bytes() >= before + plan.nbytes
+        assert plan.nbytes >= plan.n_sites * np.dtype(np.intp).itemsize
+
+    def test_stats_report_hit_rate_and_plan_coverage(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        mmat = plan_env.mmat
+        mmat.remember(block.block_id, (5, 5), block)
+        assert mmat.lookup(block.block_id, (5, 5)) is block   # hit
+        assert mmat.lookup(block.block_id, (6, 6)) is None    # miss
+        plan = compile_offsets_plan(plan_env, block, [(0, 0)])
+        mmat.plan_store(("k",), plan)
+        mmat.note_execution(plan)
+        mmat.note_fallback(4)
+        stats = mmat.stats()
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["plans"] == 1
+        assert stats["plan_sites"] == plan.n_sites
+        assert stats["plan_exec_sites"] == plan.n_sites
+        assert stats["fallback_sites"] == 4
+        assert stats["vectorized_fraction"] == pytest.approx(
+            plan.n_sites / (plan.n_sites + 4)
+        )
+
+
+class TestDenseReadCache:
+    def test_cache_hit_until_refresh(self, plan_env):
+        block = add_block(plan_env, (0, 0))
+        sequential(block)
+        first = plan_env.dense_read(block)
+        assert plan_env.dense_read(block) is first
+        plan_env.refresh()
+        assert plan_env.dense_read(block) is not first
+
+    def test_page_install_invalidates_cache_entry(self, plan_env):
+        block = add_block(plan_env, (0, 0), buffer_only=True)
+        stale = plan_env.dense_read(block)
+        plan_env.page_install(PageKey(block.block_id, 0), np.full((4, 1), 2.0))
+        fresh = plan_env.dense_read(block)
+        assert fresh is not stale
+        assert np.all(fresh[:4] == 2.0)

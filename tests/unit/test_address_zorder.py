@@ -147,3 +147,22 @@ class TestMorton:
         ordered = zorder_sorted(items, key=lambda c: c)
         assert ordered[0] == (0, 0)
         assert ordered[-1] == (1, 1)
+
+
+class TestMortonMaskMemoization:
+    def test_dimension_masks_are_cached(self):
+        from repro.memory.zorder import _dimension_mask, _dimension_masks
+
+        assert _dimension_mask(0, 2, 8) is _dimension_mask(0, 2, 8)
+        masks = _dimension_masks(3, 21)
+        assert _dimension_masks(3, 21) is masks
+        assert len(masks) == 3
+        # The cached masks must be the masks encode/decode actually use.
+        for dim, mask in enumerate(masks):
+            assert mask == _dimension_mask(dim, 3, 21)
+
+    def test_memoized_encode_still_roundtrips(self):
+        from repro.memory.zorder import morton_decode, morton_encode
+
+        for coords in ((0, 0), (5, 9), (1, 2, 3), (7,), (10, 20, 30, 40)):
+            assert morton_decode(morton_encode(coords), len(coords)) == coords

@@ -66,6 +66,27 @@ class TestBlockSpecAndAssignment:
         task_sequence = [tid for _spec, tid in assignment]
         assert task_sequence == sorted(task_sequence)
 
+    def test_zorder_is_cached_per_spec(self):
+        spec = BlockSpec((0, 0), (8, 8), "a", (3, 5))
+        first = spec.zorder()
+        assert spec._zorder == first
+        assert spec.zorder() == first
+
+    def test_presorted_specs_keep_their_order(self):
+        # 1-D specs (USGrid) are generated in Z-order already: the
+        # assignment must not re-sort them (and must keep identity).
+        app = USGrid2DTarget({"region": 16, "block_cells": 32})
+        specs = app.block_specs()
+        assignment = app.assign_tasks(specs)
+        assert [spec for spec, _tid in assignment] == specs
+
+    def test_unsorted_specs_still_sorted_by_zorder(self):
+        app = SGrid2DTarget({"region": 32, "block_size": 8})
+        specs = list(reversed(app.block_specs()))
+        assignment = app.assign_tasks(specs)
+        keys = [spec.zorder() for spec, _tid in assignment]
+        assert keys == sorted(keys)
+
 
 class TestSGridTarget:
     def make_app(self, **overrides):
