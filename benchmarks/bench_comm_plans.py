@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Aggregated (comm-plan) halo exchange vs the per-page protocol.
+
+Runs each DSL workload on a strong-scaled 4-rank distributed world twice
+— once with the original one-message-pair-per-page refresh protocol
+(``comm_plans=False``, the paper prototype's exchange) and once with
+compiled communication plans (one aggregated message pair per neighbor
+rank) — and reports page-exchange message counts, wall-clock, the
+aggregation ratio and the number of neighbor links, checking that both
+protocols produce numerically identical results.
+
+The headline regression gate: on the 2-D Jacobi structured-grid sweep
+comm plans must move the halo with at least **5x fewer page-exchange
+messages** than the per-page protocol at 4 ranks.  Message counts are
+deterministic, so the gate holds in ``--smoke`` mode too.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_comm_plans.py
+    PYTHONPATH=src python benchmarks/bench_comm_plans.py --smoke
+    PYTHONPATH=src python benchmarks/bench_comm_plans.py --json BENCH_comm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import (  # noqa: E402
+    Workload,
+    format_table,
+    mpi_aspects,
+    particle_workload,
+    run_platform,
+    sgrid_workload,
+    usgrid_workload,
+)
+
+RANKS = 4
+GATE = 5.0  # Jacobi sgrid: minimum page-exchange message reduction at 4 ranks
+
+
+def _timed_run(work: Workload, *, comm_plans: bool, repeats: int):
+    """Best-of-``repeats`` 4-rank run of ``work`` (threads backend, MMAT on)."""
+    best = None
+    last = None
+    for _ in range(max(repeats, 1)):
+        run = run_platform(
+            work, aspects=mpi_aspects(RANKS, comm_plans=comm_plans), mmat=True
+        )
+        if best is None or run.elapsed < best:
+            best = run.elapsed
+        last = run
+    return best, last
+
+
+def _exchange_messages(run) -> int:
+    """Page-exchange messages of a run (trace counters exclude collectives)."""
+    return sum(c.messages for c in run.counters.values())
+
+
+def _results_equivalent(a_run, b_run) -> bool:
+    a = np.asarray(a_run.result, dtype=np.float64)
+    b = np.asarray(b_run.result, dtype=np.float64)
+    return a.shape == b.shape and bool(
+        np.allclose(np.nan_to_num(a, nan=-1.0), np.nan_to_num(b, nan=-1.0), atol=1e-12)
+    )
+
+
+def measure_comm_plans(workloads, *, repeats: int = 3) -> list:
+    rows = []
+    for work in workloads:
+        perpage_s, perpage_run = _timed_run(work, comm_plans=False, repeats=repeats)
+        plan_s, plan_run = _timed_run(work, comm_plans=True, repeats=repeats)
+        perpage_msgs = _exchange_messages(perpage_run)
+        plan_msgs = _exchange_messages(plan_run)
+        counters = plan_run.counters.values()
+        pages = sum(c.comm_plan_pages for c in counters)
+        exchanges = sum(c.comm_plan_exchanges for c in counters)
+        rows.append(
+            {
+                "workload": work.name,
+                "ranks": RANKS,
+                "perpage_messages": perpage_msgs,
+                "plan_messages": plan_msgs,
+                "message_ratio": perpage_msgs / max(plan_msgs, 1),
+                "messages_saved": perpage_msgs - plan_msgs,
+                "perpage_s": perpage_s,
+                "plan_s": plan_s,
+                "aggregation_ratio": pages / exchanges if exchanges else 0.0,
+                "neighbor_links": plan_run.comm_neighbor_links(),
+                "equivalent": _results_equivalent(perpage_run, plan_run),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--loops", type=int, default=10, help="time steps per run")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per configuration (best wall-clock kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small problems, 1 repeat (CI); the message gate is unchanged")
+    parser.add_argument("--json", metavar="PATH",
+                        help="emit the rows as JSON (perf trajectory for future PRs)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        workloads = [
+            sgrid_workload(32, loops=5, block_size=8).with_config(page_elements=8),
+            usgrid_workload(16, loops=3, block_cells=32).with_config(page_elements=8),
+            particle_workload(256, loops=2).with_config(block_buckets=4, page_elements=4),
+        ]
+        repeats = 1
+    else:
+        workloads = [
+            sgrid_workload(64, loops=args.loops, block_size=8).with_config(page_elements=8),
+            usgrid_workload(32, loops=args.loops, block_cells=64).with_config(page_elements=8),
+            particle_workload(1024, loops=3).with_config(block_buckets=8, page_elements=4),
+        ]
+        repeats = args.repeats
+
+    rows = measure_comm_plans(workloads, repeats=repeats)
+    print(format_table(
+        rows, title=f"Aggregated comm-plan halo exchange vs per-page ({RANKS} ranks)"
+    ))
+
+    if args.json:
+        doc = {"mode": "smoke" if args.smoke else "full", "ranks": RANKS, "comm": rows}
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    ok = all(row["equivalent"] for row in rows)
+    if not ok:
+        print("FAILED: comm-plan results diverge from the per-page protocol")
+        return 1
+    if any(row["plan_messages"] > row["perpage_messages"] for row in rows):
+        print("FAILED: comm plans moved MORE messages than the per-page protocol")
+        return 1
+    # The acceptance gate applies to the 2-D Jacobi structured-grid sweep.
+    jacobi = rows[0]
+    if jacobi["message_ratio"] < GATE:
+        print(
+            f"FAILED: Jacobi comm-plan message reduction {jacobi['message_ratio']:.1f}x "
+            f"below the {GATE:.0f}x gate"
+        )
+        return 1
+    print(
+        f"OK: Jacobi halo moved with {jacobi['message_ratio']:.1f}x fewer messages "
+        f"(gate {GATE:.0f}x, aggregation {jacobi['aggregation_ratio']:.1f} pages/exchange)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

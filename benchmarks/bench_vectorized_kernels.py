@@ -138,8 +138,13 @@ def main(argv=None) -> int:
     )
 
     if args.json:
+        doc = {
+            "mode": "smoke" if args.smoke else "full",
+            "kernels": rows,
+            "read_from": micro,
+        }
         with open(args.json, "w") as fh:
-            json.dump({"kernels": rows, "read_from": micro}, fh, indent=2)
+            json.dump(doc, fh, indent=2)
         print(f"wrote {args.json}")
 
     ok = all(row["equivalent"] for row in rows)

@@ -105,6 +105,12 @@ def main() -> None:
         for k in ("plans", "plan_sites", "vectorized_fraction", "hit_rate")
     })
 
+    # The MPI run moved its halo through compiled communication plans:
+    # one aggregated message pair per neighbor rank instead of one per
+    # page (the `comm=… agg=…` section of summary() above).
+    print(f"MPI x4 halo aggregation: {mpi.comm_aggregation_ratio():.1f} pages "
+          f"per exchange across {mpi.comm_neighbor_links()} neighbor links")
+
 
 if __name__ == "__main__":
     main()

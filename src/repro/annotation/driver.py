@@ -106,7 +106,42 @@ class PlatformRun:
             line += f" plans={plans}/{plan_sites}sites vec={vectorized:.0%}"
             if fallback:
                 line += f" fallback={fallback}"
+        line += self._comm_plan_summary()
         return line
+
+    def _comm_plan_summary(self) -> str:
+        """The ``comm=…`` section of :meth:`summary` (aggregated halo exchange).
+
+        Reports how many aggregated exchanges moved how many halo pages,
+        the aggregation ratio (pages per message pair), the number of
+        request/reply message pairs saved against the per-page protocol,
+        and the number of directed neighbor links the run exercised.
+        """
+        exchanges = sum(c.comm_plan_exchanges for c in self.counters.values())
+        pages = sum(c.comm_plan_pages for c in self.counters.values())
+        if not exchanges:
+            return ""
+        ratio = pages / exchanges
+        saved = 2 * (pages - exchanges)
+        part = f" comm={exchanges}ex/{pages}pg agg={ratio:.1f}x saved={saved}msg"
+        neighbors = self.comm_neighbor_links()
+        if neighbors:
+            part += f" links={neighbors}"
+        fallback_pages = sum(c.comm_plan_fallback_pages for c in self.counters.values())
+        if fallback_pages:
+            part += f" perpage={fallback_pages}pg"
+        return part
+
+    def comm_neighbor_links(self) -> int:
+        """Directed rank pairs that exchanged page traffic (0 when untracked)."""
+        per_neighbor = self.network.get("per_neighbor") or {}
+        return len(per_neighbor)
+
+    def comm_aggregation_ratio(self) -> float:
+        """Average pages moved per aggregated exchange (0.0 without comm plans)."""
+        exchanges = sum(c.comm_plan_exchanges for c in self.counters.values())
+        pages = sum(c.comm_plan_pages for c in self.counters.values())
+        return pages / exchanges if exchanges else 0.0
 
 
 class PlatformBuilder:

@@ -11,11 +11,12 @@ One reusable aspect module per HPC-system layer:
 
 from .base import LayerAspect
 from .hybrid import PhaseTraceAspect, hybrid_aspects, mpi_aspects, openmp_aspects
-from .mpi_aspect import DistributedMemoryAspect
+from .mpi_aspect import CommPlan, DistributedMemoryAspect
 from .openmp_aspect import SharedMemoryAspect
 
 __all__ = [
     "LayerAspect",
+    "CommPlan",
     "DistributedMemoryAspect",
     "SharedMemoryAspect",
     "PhaseTraceAspect",

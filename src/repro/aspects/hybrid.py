@@ -20,13 +20,21 @@ from .openmp_aspect import SharedMemoryAspect
 __all__ = ["hybrid_aspects", "mpi_aspects", "openmp_aspects", "PhaseTraceAspect"]
 
 
-def mpi_aspects(processes: int, *, backend: Optional[str] = None) -> List[LayerAspect]:
+def mpi_aspects(
+    processes: int, *, backend: Optional[str] = None, comm_plans: bool = True
+) -> List[LayerAspect]:
     """Aspect stack for a distributed-memory-only run ("Platform MPI").
 
     ``backend`` picks the execution backend of the layer ("serial" |
     "threads" | "process"); None defers to the Platform's choice.
+    ``comm_plans=False`` disables the aggregated per-neighbor halo
+    exchange and keeps the per-page protocol (benchmark reference).
     """
-    return [DistributedMemoryAspect(processes=processes, backend=backend)]
+    return [
+        DistributedMemoryAspect(
+            processes=processes, backend=backend, comm_plans=comm_plans
+        )
+    ]
 
 
 def openmp_aspects(threads: int) -> List[LayerAspect]:
@@ -35,18 +43,25 @@ def openmp_aspects(threads: int) -> List[LayerAspect]:
 
 
 def hybrid_aspects(
-    processes: int, threads: int, *, backend: Optional[str] = None
+    processes: int,
+    threads: int,
+    *,
+    backend: Optional[str] = None,
+    comm_plans: bool = True,
 ) -> List[LayerAspect]:
     """Aspect stack for a hybrid run ("Platform MPI+OMP").
 
     Order matters only through each aspect's ``order`` attribute (the
     shared-memory module is woven *outside* the distributed-memory one);
     the list order is purely cosmetic.  ``backend`` selects the
-    execution backend of the distributed-memory layer.
+    execution backend of the distributed-memory layer and
+    ``comm_plans`` toggles its aggregated halo exchange.
     """
     return [
         SharedMemoryAspect(threads=threads),
-        DistributedMemoryAspect(processes=processes, backend=backend),
+        DistributedMemoryAspect(
+            processes=processes, backend=backend, comm_plans=comm_plans
+        ),
     ]
 
 

@@ -20,6 +20,11 @@ This module weaves the distributed-memory layer into an application:
   non-existent from their owners when it did not, and — via the
   **Dry-run** record — prefetch, after every successful refresh, the
   pages this rank is known to need so later steps do not fail at all.
+  When MMAT warm-up has compiled access plans, the steady-state halo is
+  statically known and the prefetch is compiled into a :class:`CommPlan`
+  executed as **one aggregated message pair per neighbor rank**
+  (:meth:`ExecutionWorld.fetch_pages_bulk`); without plans the original
+  per-page protocol runs unchanged.
 
 The module also registers every rank's Env and Blocks in the world's
 :class:`~repro.runtime.simmpi.BlockDirectory` (after ``Initialize``),
@@ -34,18 +39,51 @@ match expressions.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Set
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
 
 from ..aop.advice import after_returning, around
 from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.page import PageKey
 from ..runtime.backends import DEFAULT_BACKEND, get_backend
 from ..runtime.backends.base import ExecutionWorld
+from ..runtime.errors import NetworkError, PageFetchError
 from ..runtime.task import current_task
 from ..runtime.tracing import global_trace
 from .base import LayerAspect
 
-__all__ = ["DistributedMemoryAspect"]
+__all__ = ["CommPlan", "DistributedMemoryAspect"]
+
+
+@dataclass
+class CommPlan:
+    """A compiled communication schedule for one rank's steady-state halo.
+
+    Once MMAT warm-up has compiled access plans, the rank's full remote
+    page set is statically known (``Env.plan_page_requirements`` united
+    with the Dry-run record).  A CommPlan freezes that set into a
+    transport manifest — ``(local PageKey, logical block key, page
+    index)`` per page — so every subsequent refresh can hand the whole
+    halo to :meth:`ExecutionWorld.fetch_pages_bulk` in one call and the
+    world moves **one aggregated message pair per neighbor rank**
+    instead of one pair per page.  The plan is a pure cache keyed by its
+    page set: when the requirement set changes (MMAT reset, new plans
+    compiled, dry-run growth) the aspect transparently recompiles it.
+    """
+
+    #: The halo page set this plan covers (cache key).
+    keys: frozenset
+    #: Transport manifest, sorted by local page key.
+    requests: List[Tuple[PageKey, Any, int]]
+
+    def __post_init__(self) -> None:
+        self._index: Dict[Tuple[Any, int], PageKey] = {
+            (lk, page): key for key, lk, page in self.requests
+        }
+
+    def key_for(self, logical_key: Any, page_index: int) -> PageKey:
+        """Map a transport result back to the local page it fills."""
+        return self._index[(logical_key, page_index)]
 
 
 class DistributedMemoryAspect(LayerAspect):
@@ -65,15 +103,27 @@ class DistributedMemoryAspect(LayerAspect):
     order = 20
 
     def __init__(
-        self, processes: int = 1, *, timeout: float = 60.0, backend: str | None = None
+        self,
+        processes: int = 1,
+        *,
+        timeout: float = 60.0,
+        backend: str | None = None,
+        comm_plans: bool = True,
     ) -> None:
         super().__init__(parallelism=processes)
         self.timeout = timeout
         self.backend_name = backend
+        #: Whether to compile CommPlans (aggregated per-neighbor halo
+        #: exchange) from warmed-up access plans; False keeps the
+        #: original one-message-pair-per-page protocol everywhere.
+        self.comm_plans = bool(comm_plans)
         self.world: ExecutionWorld | None = None
         #: Dry-run record: rank -> set of local PageKeys that had to be
         #: fetched at least once; prefetched after every successful refresh.
         self._dry_run: Dict[int, Set[PageKey]] = {}
+        #: Compiled communication schedules: rank -> CommPlan (a cache —
+        #: invalidated whenever the rank's halo requirement set changes).
+        self._comm_plans: Dict[int, CommPlan] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -95,6 +145,7 @@ class DistributedMemoryAspect(LayerAspect):
         world = backend.create_world(self.parallelism, timeout=self.timeout)
         self.world = world
         self._dry_run = {rank: set() for rank in range(world.size)}
+        self._comm_plans = {}
         if platform is not None:
             platform.context["mpi_world"] = world
         omp_threads = platform.parallelism_of("omp") if platform is not None else 1
@@ -193,34 +244,105 @@ class DistributedMemoryAspect(LayerAspect):
         # … then prefetch, with the owners' new data, every page this rank
         # is known to need for the next step: the Dry-run record (pages
         # that were observed missing) united with the halo pages of every
-        # compiled access plan — once a sweep is compiled its full remote
-        # page set is known statically, so the whole halo moves here, one
-        # bulk page snapshot per remote page, before the next step begins.
+        # compiled access plan.  Once access plans exist the full halo is
+        # statically known, so it moves through a compiled CommPlan — one
+        # aggregated message pair per neighbor rank; without plans (MMAT
+        # off, plan invalidated, scalar kernels) the original per-page
+        # protocol is used transparently.
         env.invalidate_buffer_only()
         with self._lock:
             prefetch = set(self._dry_run.get(rank, ()))
-        prefetch |= env.plan_page_requirements()
-        self._fetch_pages(env, rank, prefetch, trace)
+        plan_pages = env.plan_page_requirements()
+        prefetch |= plan_pages
+        if self.comm_plans and plan_pages:
+            self._exchange_planned(env, rank, prefetch, trace)
+        else:
+            self._fetch_pages(env, rank, prefetch, trace)
         return result
 
     # ------------------------------------------------------------------
+    def _comm_plan_for(self, env, rank: int, keys: Set[PageKey], trace) -> CommPlan:
+        """Return the rank's cached CommPlan, recompiling if the halo changed."""
+        frozen = frozenset(keys)
+        with self._lock:
+            plan = self._comm_plans.get(rank)
+        if plan is not None and plan.keys == frozen:
+            return plan
+        requests: List[Tuple[PageKey, Any, int]] = []
+        for key in sorted(keys):
+            block = env.block(key.block_id)
+            logical_key = getattr(block, "logical_key", None)
+            if logical_key is None:
+                raise PageFetchError(
+                    f"rank {rank} cannot plan a fetch for page {key}: block "
+                    f"{block.name!r} has no logical key, so its owning rank "
+                    "is unresolvable"
+                )
+            requests.append((key, logical_key, key.page_index))
+        plan = CommPlan(keys=frozen, requests=requests)
+        with self._lock:
+            self._comm_plans[rank] = plan
+        trace.comm_plan_compiles += 1
+        return plan
+
+    def _exchange_planned(self, env, rank: int, keys: Set[PageKey], trace) -> None:
+        """Refresh the halo through the compiled CommPlan (batched transport)."""
+        if not keys:
+            return
+        world = self.world
+        assert world is not None
+        plan = self._comm_plan_for(env, rank, keys, trace)
+        try:
+            result = world.fetch_pages_bulk(
+                rank, [(lk, page) for _, lk, page in plan.requests]
+            )
+        except PageFetchError:
+            raise
+        except NetworkError as exc:
+            raise PageFetchError(
+                f"rank {rank} failed the aggregated halo exchange of "
+                f"{len(plan.requests)} pages: {exc}"
+            ) from exc
+        env.page_install_many(
+            (plan.key_for(lk, page), data) for lk, page, data in result.pages
+        )
+        trace.pages_fetched += len(result.pages)
+        trace.bytes_fetched += result.nbytes
+        trace.messages += 2 * result.exchanges
+        trace.comm_plan_exchanges += result.exchanges
+        trace.comm_plan_pages += len(result.pages)
+
+    # ------------------------------------------------------------------
     def _fetch_pages(self, env, rank: int, keys: Set[PageKey], trace) -> None:
-        """Pull each page in ``keys`` from its owning rank into the local Env."""
+        """Pull each page in ``keys`` from its owning rank, one message pair each."""
         world = self.world
         assert world is not None
         for key in sorted(keys):
             block = env.block(key.block_id)
             logical_key = getattr(block, "logical_key", None)
             if logical_key is None:
-                continue
-            data = world.fetch_page_by_logical(rank, logical_key, key.page_index)
+                raise PageFetchError(
+                    f"rank {rank} cannot fetch page {key}: block {block.name!r} "
+                    "has no logical key, so its owning rank is unresolvable"
+                )
+            try:
+                data = world.fetch_page_by_logical(rank, logical_key, key.page_index)
+            except PageFetchError:
+                raise
+            except NetworkError as exc:
+                raise PageFetchError(
+                    f"rank {rank} failed to fetch page {key.page_index} of "
+                    f"block {logical_key!r}: {exc}"
+                ) from exc
             env.page_install(key, data)
             trace.pages_fetched += 1
             trace.bytes_fetched += int(data.nbytes)
             trace.messages += 2
+            trace.comm_plan_fallback_pages += 1
 
     # ------------------------------------------------------------------
     def on_detach(self, platform) -> None:
         super().on_detach(platform)
         self.world = None
         self._dry_run = {}
+        self._comm_plans = {}

@@ -169,7 +169,10 @@ def _scaling_rows(
         for count in counts:
             work = _resize_for_weak(base_work, count) if weak else base_work
             if layer == "mpi":
-                aspects = configuration_aspects("mpi", mpi=count)
+                # The paper's prototype exchanges one message pair per
+                # page; Figs. 7/8 reproduce that protocol, so the
+                # aggregated comm-plan exchange is disabled here.
+                aspects = configuration_aspects("mpi", mpi=count, comm_plans=False)
             else:
                 aspects = configuration_aspects("omp", omp=count)
             run = run_platform(work, aspects=aspects, mmat=True)
@@ -300,7 +303,10 @@ def fig11_hybrid(
         base_run = run_platform(work, aspects=configuration_aspects("serial"), mmat=True)
         base_time = modelled_time(base_run, work, machine=machine).total
         for processes, threads in combinations:
-            aspects = configuration_aspects("hybrid", mpi=processes, omp=threads)
+            # Same protocol as Figs. 7/8: model the paper's per-page exchange.
+            aspects = configuration_aspects(
+                "hybrid", mpi=processes, omp=threads, comm_plans=False
+            )
             run = run_platform(work, aspects=aspects, mmat=True)
             breakdown = modelled_time(run, work, machine=machine)
             rows.append(

@@ -229,19 +229,30 @@ def run_platform(
 
 
 def configuration_aspects(
-    label: str, *, mpi: int = 1, omp: int = 1, backend: Optional[str] = None
+    label: str,
+    *,
+    mpi: int = 1,
+    omp: int = 1,
+    backend: Optional[str] = None,
+    comm_plans: bool = True,
 ):
-    """Aspect stack for a configuration label ('serial'|'nop'|'mpi'|'omp'|'hybrid')."""
+    """Aspect stack for a configuration label ('serial'|'nop'|'mpi'|'omp'|'hybrid').
+
+    ``comm_plans=False`` keeps the distributed layer on the paper
+    prototype's one-message-pair-per-page protocol (the scaling figures
+    model that prototype; the aggregated exchange is benchmarked
+    separately in ``benchmarks/bench_comm_plans.py``).
+    """
     if label == "serial":
         return None
     if label == "nop":
         return []
     if label == "mpi":
-        return mpi_aspects(mpi, backend=backend)
+        return mpi_aspects(mpi, backend=backend, comm_plans=comm_plans)
     if label == "omp":
         return openmp_aspects(omp)
     if label == "hybrid":
-        return hybrid_aspects(mpi, omp, backend=backend)
+        return hybrid_aspects(mpi, omp, backend=backend, comm_plans=comm_plans)
     raise ValueError(f"unknown configuration {label!r}")
 
 

@@ -353,6 +353,22 @@ class Env:
         block.page_fill(key.page_index, data)
         self._dense_cache.pop(key.block_id, None)
 
+    def page_install_many(self, items: Iterable[Tuple[PageKey, np.ndarray]]) -> None:
+        """Install a batch of fetched pages (one aggregated halo exchange).
+
+        Equivalent to :meth:`page_install` per item, but invalidates each
+        touched block's dense-read cache only once per block.
+        """
+        touched: Set[int] = set()
+        for key, data in items:
+            block = self.block(key.block_id)
+            if not isinstance(block, DataBlock):
+                raise EnvError(f"page install requested on non-data block {block.name!r}")
+            block.page_fill(key.page_index, data)
+            touched.add(key.block_id)
+        for block_id in touched:
+            self._dense_cache.pop(block_id, None)
+
     def invalidate_buffer_only(self) -> None:
         """Mark every Buffer-only Block stale (done at each step boundary)."""
         for block in self.data_blocks(include_buffer_only=True):

@@ -32,6 +32,7 @@ from .errors import (
     CollectiveError,
     MachineModelError,
     NetworkError,
+    PageFetchError,
     RuntimeErrorBase,
     TaskError,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "RuntimeErrorBase",
     "TaskError",
     "NetworkError",
+    "PageFetchError",
     "CollectiveError",
     "MachineModelError",
 ]

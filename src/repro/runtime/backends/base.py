@@ -24,13 +24,21 @@ runtime), ``process`` (one real ``multiprocessing`` process per rank).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CollectiveError, NetworkError
 from ..task import TaskContext
 
-__all__ = ["BackendError", "ExecutionBackend", "ExecutionWorld", "RankResult", "raise_spmd_failures"]
+__all__ = [
+    "BackendError",
+    "BulkFetchResult",
+    "ExecutionBackend",
+    "ExecutionWorld",
+    "RankResult",
+    "group_requests_by_owner",
+    "raise_spmd_failures",
+]
 
 
 class BackendError(RuntimeError):
@@ -64,6 +72,46 @@ def raise_spmd_failures(results: List[RankResult]) -> None:
     raise RuntimeError(
         f"{len(errors)} rank(s) failed; first failure on rank {primary.rank}"
     ) from primary.error
+
+
+@dataclass
+class BulkFetchResult:
+    """Outcome of one batched page exchange (:meth:`ExecutionWorld.fetch_pages_bulk`).
+
+    ``pages`` holds ``(logical_key, page_index, data)`` triples in
+    request order per owner; ``exchanges`` is the number of aggregated
+    request/reply pairs the batch cost (one per distinct owning rank on
+    batching backends, one per page on the per-page fallback) and
+    ``nbytes`` the page payload volume moved.
+    """
+
+    pages: List[Tuple[Any, int, Any]] = field(default_factory=list)
+    exchanges: int = 0
+    nbytes: int = 0
+
+
+def group_requests_by_owner(
+    directory: Any, requests: Sequence[Tuple[Any, int]]
+) -> Dict[int, List[Tuple[Any, int, int]]]:
+    """Resolve page requests against a block directory, grouped by owner.
+
+    ``requests`` is a sequence of ``(logical_key, page_index)`` pairs;
+    the result maps each owning rank to ``(logical_key, page_index,
+    owner-local block id)`` triples, preserving request order within
+    each owner.  Raises :class:`~repro.runtime.errors.NetworkError` when
+    a key has no registered owner.
+    """
+    grouped: Dict[int, List[Tuple[Any, int, int]]] = {}
+    block_ids: Dict[Any, Tuple[int, int]] = {}
+    for logical_key, page_index in requests:
+        resolved = block_ids.get(logical_key)
+        if resolved is None:
+            owner = directory.owner_of(logical_key)
+            resolved = (owner, directory.block_id_on(logical_key, owner))
+            block_ids[logical_key] = resolved
+        owner, block_id = resolved
+        grouped.setdefault(owner, []).append((logical_key, page_index, block_id))
+    return grouped
 
 
 class ExecutionWorld(abc.ABC):
@@ -134,6 +182,27 @@ class ExecutionWorld(abc.ABC):
     @abc.abstractmethod
     def fetch_page_by_logical(self, requester: int, logical_key: Any, page_index: int):
         """Fetch a page of the Block identified by ``logical_key`` from its owner."""
+
+    def fetch_pages_bulk(
+        self, requester: int, requests: Sequence[Tuple[Any, int]]
+    ) -> BulkFetchResult:
+        """Fetch many pages at once, aggregated per owning rank.
+
+        ``requests`` is a sequence of ``(logical_key, page_index)``
+        pairs.  Batching backends move **one request/reply message pair
+        per distinct owning rank** (a page-key manifest out, a packed
+        payload back) instead of one pair per page; this default
+        implementation is the behavioural fallback for custom backends
+        and simply loops over :meth:`fetch_page_by_logical`, costing one
+        exchange per page.
+        """
+        result = BulkFetchResult()
+        for logical_key, page_index in requests:
+            data = self.fetch_page_by_logical(requester, logical_key, page_index)
+            result.pages.append((logical_key, page_index, data))
+            result.exchanges += 1
+            result.nbytes += int(data.nbytes)
+        return result
 
     # -- accounting -----------------------------------------------------
     @abc.abstractmethod

@@ -23,6 +23,11 @@ Messages are small tuples:
     a per-kind generation counter that detects protocol corruption.
 ``("preq", req_id, block_id, page_index)`` / ``("prep", req_id, data)``
     Page request/reply ("perr" carries a failure message instead).
+``("breq", req_id, [(block_id, page_index), …])`` / ``("brep", req_id, payload, manifest)``
+    Batched page request/reply used by compiled communication plans:
+    the request carries a page-key manifest, the reply one packed byte
+    payload holding every requested page plus the unpacking manifest —
+    a whole neighbor's halo moves in a single message pair.
 
 The page-serving protocol
 -------------------------
@@ -60,14 +65,24 @@ import threading
 import time
 from collections import deque
 from multiprocessing.connection import wait as connection_wait
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import CollectiveError, NetworkError, TaskError
 from ..network import NetworkStats, _payload_nbytes
 from ..simmpi import BlockDirectory
 from ..task import TaskContext, task_scope
 from ..tracing import global_trace
-from .base import BackendError, ExecutionBackend, ExecutionWorld, RankResult, raise_spmd_failures
+from .base import (
+    BackendError,
+    BulkFetchResult,
+    ExecutionBackend,
+    ExecutionWorld,
+    RankResult,
+    group_requests_by_owner,
+    raise_spmd_failures,
+)
 
 __all__ = ["ProcessBackend", "ProcessTransport", "ProcessWorld"]
 
@@ -79,11 +94,6 @@ _COLLECTIVE_KINDS = ("red", "bar", "reg", "exit")
 
 def _concat(lists: List[list]) -> list:
     return [entry for sub in lists for entry in sub]
-
-
-def _merge_stats(dst: NetworkStats, src: NetworkStats) -> None:
-    for field in dst.__dict__:
-        setattr(dst, field, getattr(dst, field) + getattr(src, field))
 
 
 def _force_picklable(obj: Any, fallback: Callable[[Any], Any]):
@@ -167,6 +177,8 @@ class ProcessTransport:
                 continue
             if msg[0] == "preq":
                 self._serve_page(peer, msg)
+            elif msg[0] == "breq":
+                self._serve_page_batch(peer, msg)
             else:
                 self._inbox[peer].append(msg)
 
@@ -185,6 +197,34 @@ class ProcessTransport:
                                      f"({block_id}, {page_index}): {exc!r}")
         # Uncounted send: the requester accounts the fetch traffic (one
         # request plus one reply), mirroring SimNetwork.fetch_page.
+        self._outbox.put((peer, reply))
+
+    def _serve_page_batch(self, peer: int, msg: tuple) -> None:
+        """Answer a batched page request with one packed payload + manifest."""
+        _, req_id, items = msg
+        try:
+            if self.endpoint is None:
+                raise NetworkError(f"rank {self.rank} has no registered Env")
+            from ...memory.page import PageKey  # local import to avoid a cycle
+
+            chunks: List[bytes] = []
+            manifest: List[tuple] = []
+            offset = 0
+            for block_id, page_index in items:
+                data = np.ascontiguousarray(
+                    self.endpoint.page_snapshot(PageKey(block_id, page_index))
+                )
+                raw = data.tobytes()
+                manifest.append(
+                    (block_id, page_index, offset, len(raw), data.shape, data.dtype.str)
+                )
+                chunks.append(raw)
+                offset += len(raw)
+            reply = ("brep", req_id, b"".join(chunks), manifest)
+        except Exception as exc:  # noqa: BLE001 - shipped to the requester
+            reply = ("perr", req_id, f"rank {self.rank} could not serve page batch "
+                                     f"of {len(items)} pages: {exc!r}")
+        # Uncounted send, as for single pages: the requester accounts it.
         self._outbox.put((peer, reply))
 
     def _await(self, peer: int, match: Callable[[tuple], bool], what: str,
@@ -270,9 +310,59 @@ class ProcessTransport:
                 raise NetworkError(msg[2])
             data = msg[2]
             self.stats.messages += 1  # the reply (the request was counted by _send)
+            self.stats.record_neighbor(self.rank, owner, 1, 32)
+            self.stats.record_neighbor(owner, self.rank, 1, int(data.nbytes))
         self.stats.page_fetches += 1
         self.stats.bytes_moved += int(data.nbytes) + 32
         return data
+
+    def fetch_pages_batch(self, owner: int, items: List[Tuple[int, int]]) -> List[Any]:
+        """Fetch a batch of pages from one owner in a single message pair.
+
+        ``items`` holds ``(owner-local block id, page index)`` pairs; the
+        reply is one packed byte payload plus an unpacking manifest, so
+        the whole batch costs one request and one reply regardless of
+        page count.
+        """
+        from ...memory.page import PageKey  # local import to avoid a cycle
+
+        if owner == self.rank:
+            if self.endpoint is None:
+                raise NetworkError(f"rank {self.rank} has no registered Env")
+            datas: List[Any] = [
+                self.endpoint.page_snapshot(PageKey(block_id, page_index))
+                for block_id, page_index in items
+            ]
+        else:
+            self._next_req += 1
+            req_id = self._next_req
+            self._send(owner, ("breq", req_id, list(items)))
+            msg = self._await(
+                owner,
+                lambda m: m[0] in ("brep", "perr") and m[1] == req_id,
+                f"bulk page reply {req_id} ({len(items)} pages)",
+            )
+            if msg[0] == "perr":
+                raise NetworkError(msg[2])
+            payload, manifest = msg[2], msg[3]
+            datas = [
+                np.frombuffer(
+                    payload, dtype=dt, count=nbytes // dt.itemsize, offset=offset
+                ).reshape(shape)
+                for _block_id, _page_index, offset, nbytes, shape, dtype_str in manifest
+                for dt in (np.dtype(dtype_str),)
+            ]
+            payload_bytes = sum(int(d.nbytes) for d in datas)
+            self.stats.messages += 1  # the reply (the request was counted by _send)
+            self.stats.record_neighbor(self.rank, owner, 1, 32 + 16 * len(items))
+            self.stats.record_neighbor(owner, self.rank, 1, payload_bytes)
+        self.stats.page_fetches += len(datas)
+        self.stats.bulk_fetches += 1
+        self.stats.bulk_pages += len(datas)
+        # Payload plus request header plus per-page manifest entries —
+        # the same accounting shape as SimNetwork.fetch_pages.
+        self.stats.bytes_moved += sum(int(d.nbytes) for d in datas) + 32 + 16 * len(datas)
+        return datas
 
     def close(self) -> None:
         # The sentinel queues behind any pending messages, so joining the
@@ -349,7 +439,7 @@ class ProcessWorld(ExecutionWorld):
             self._run_rank_inline(results[0], body, omp_threads, mpi_size=self.size)
             self._collect_children(results, result_pipes, procs)
         finally:
-            _merge_stats(self.stats, transport.stats)
+            self.stats.merge(transport.stats)
             transport.close()
             self._transport = None
             for rank, proc in procs.items():
@@ -450,7 +540,7 @@ class ProcessWorld(ExecutionWorld):
             results[rank].value = payload["value"]
             results[rank].error = payload["error"]
             trace.merge_counters(payload["counters"])
-            _merge_stats(self.stats, payload["stats"])
+            self.stats.merge(payload["stats"])
 
     # -- Env / block registration --------------------------------------
     def register_env(self, rank: int, env: Any) -> None:
@@ -518,6 +608,42 @@ class ProcessWorld(ExecutionWorld):
         self.stats.messages += 2
         self.stats.bytes_moved += int(data.nbytes) + 32
         return data
+
+    def fetch_pages_bulk(
+        self, requester: int, requests: Sequence[Tuple[Any, int]]
+    ) -> BulkFetchResult:
+        """Batched fetch: one packed pipe exchange per owning rank."""
+        result = BulkFetchResult()
+        transport = self._transport
+        from ...memory.page import PageKey  # local import to avoid a cycle
+
+        for owner, items in sorted(group_requests_by_owner(self.directory, requests).items()):
+            if transport is not None:
+                datas = transport.fetch_pages_batch(
+                    owner, [(block_id, page) for _, page, block_id in items]
+                )
+            else:  # single-rank world: serve locally, keep the accounting shape
+                env = self.env_of(owner)
+                datas = [
+                    env.page_snapshot(PageKey(block_id, page))
+                    for _, page, block_id in items
+                ]
+                payload_bytes = sum(int(d.nbytes) for d in datas)
+                manifest_bytes = 32 + 16 * len(datas)
+                self.stats.page_fetches += len(datas)
+                self.stats.bulk_fetches += 1
+                self.stats.bulk_pages += len(datas)
+                self.stats.messages += 2
+                self.stats.bytes_moved += payload_bytes + manifest_bytes
+                self.stats.record_neighbor(requester, owner, 1, manifest_bytes)
+                self.stats.record_neighbor(owner, requester, 1, payload_bytes)
+            result.pages.extend(
+                (logical_key, page, data)
+                for (logical_key, page, _), data in zip(items, datas)
+            )
+            result.exchanges += 1
+            result.nbytes += sum(int(d.nbytes) for d in datas)
+        return result
 
     # -- lifecycle / accounting -----------------------------------------
     def finalize(self) -> None:

@@ -15,6 +15,17 @@ class NetworkError(RuntimeErrorBase):
     """The simulated network was used incorrectly (unknown peer, bad key)."""
 
 
+class PageFetchError(NetworkError):
+    """A page could not be fetched: its owning rank is unresolvable.
+
+    Raised by the distributed-memory aspect's refresh protocol when a
+    missing page belongs to a Block whose owner cannot be determined
+    (no logical key, or the directory has no owner entry).  Carries the
+    logical key / page key and the requesting rank so the failure is
+    diagnosable instead of silently dropping the page.
+    """
+
+
 class CollectiveError(RuntimeErrorBase):
     """A collective operation was entered inconsistently across tasks."""
 

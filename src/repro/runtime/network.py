@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -36,16 +36,51 @@ __all__ = ["SimNetwork", "NetworkStats"]
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters of a simulated network."""
+    """Aggregate traffic counters of a simulated network.
+
+    ``bulk_fetches``/``bulk_pages`` count the aggregated per-neighbor
+    exchanges of compiled communication plans (one request/reply pair
+    moving many pages), ``per_neighbor`` resolves page traffic by
+    directed ``"src->dst"`` rank pair so reports can show how many
+    neighbor links a run actually exercised.
+    """
 
     messages: int = 0
     bytes_moved: int = 0
     barriers: int = 0
     allreduces: int = 0
     page_fetches: int = 0
+    #: Aggregated (comm-plan) exchanges: request/reply pairs that moved
+    #: a whole batch of pages, and how many pages those batches carried.
+    bulk_fetches: int = 0
+    bulk_pages: int = 0
+    #: Page traffic per directed neighbor pair: "src->dst" ->
+    #: {"messages": n, "bytes": n}.  Collectives are not attributed.
+    per_neighbor: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record_neighbor(self, src: int, dst: int, messages: int, nbytes: int) -> None:
+        """Attribute page traffic to the directed ``src -> dst`` link."""
+        entry = self.per_neighbor.setdefault(f"{src}->{dst}", {"messages": 0, "bytes": 0})
+        entry["messages"] += int(messages)
+        entry["bytes"] += int(nbytes)
+
+    def neighbor_links(self) -> int:
+        """Number of directed rank pairs that exchanged page traffic."""
+        return len(self.per_neighbor)
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold another rank's counters into this one (process backend)."""
+        for name, value in other.__dict__.items():
+            if name == "per_neighbor":
+                for link, entry in value.items():
+                    self.record_neighbor(*link.split("->"), entry["messages"], entry["bytes"])
+            else:
+                setattr(self, name, getattr(self, name) + value)
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        out = dict(self.__dict__)
+        out["per_neighbor"] = {link: dict(entry) for link, entry in self.per_neighbor.items()}
+        return out
 
 
 def _payload_nbytes(payload: Any) -> int:
@@ -205,7 +240,41 @@ class SimNetwork:
             self.stats.page_fetches += 1
             self.stats.messages += 2
             self.stats.bytes_moved += int(data.nbytes) + 32
+            self.stats.record_neighbor(requester, owner, 1, 32)
+            self.stats.record_neighbor(owner, requester, 1, int(data.nbytes))
         return data
+
+    def fetch_pages(
+        self, requester: int, owner: int, pages: List[Tuple[int, int]]
+    ) -> List[np.ndarray]:
+        """Fetch a batch of page snapshots from one owner in one exchange.
+
+        ``pages`` is a list of ``(owner-local block id, page index)``
+        pairs.  The whole batch is accounted as a *single* request/reply
+        message pair — a manifest-sized request and one packed reply
+        carrying every page — which is what an aggregated halo exchange
+        costs on a real network.
+        """
+        self._check_rank(requester)
+        self._check_rank(owner)
+        endpoint = self.endpoint(owner)
+        from ..memory.page import PageKey  # local import to avoid a cycle
+
+        datas = [
+            endpoint.page_snapshot(PageKey(block_id, page_index))
+            for block_id, page_index in pages
+        ]
+        payload_bytes = sum(int(d.nbytes) for d in datas)
+        manifest_bytes = 32 + 16 * len(pages)
+        with self._lock:
+            self.stats.page_fetches += len(datas)
+            self.stats.bulk_fetches += 1
+            self.stats.bulk_pages += len(datas)
+            self.stats.messages += 2
+            self.stats.bytes_moved += payload_bytes + manifest_bytes
+            self.stats.record_neighbor(requester, owner, 1, manifest_bytes)
+            self.stats.record_neighbor(owner, requester, 1, payload_bytes)
+        return datas
 
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:

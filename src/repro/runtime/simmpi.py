@@ -24,11 +24,17 @@ provides the same world contract on real forked processes.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from .backends.base import ExecutionWorld, RankResult, raise_spmd_failures
+from .backends.base import (
+    BulkFetchResult,
+    ExecutionWorld,
+    RankResult,
+    group_requests_by_owner,
+    raise_spmd_failures,
+)
 from .errors import NetworkError, TaskError
 from .network import SimNetwork
 from .task import TaskContext, task_scope
@@ -140,6 +146,23 @@ class MPIWorld(ExecutionWorld):
         owner = self.directory.owner_of(logical_key)
         owner_block_id = self.directory.block_id_on(logical_key, owner)
         return self.network.fetch_page(requester, owner, owner_block_id, page_index)
+
+    def fetch_pages_bulk(
+        self, requester: int, requests: Sequence[Tuple[Any, int]]
+    ) -> BulkFetchResult:
+        """Batched fetch: one aggregated network exchange per owning rank."""
+        result = BulkFetchResult()
+        for owner, items in sorted(group_requests_by_owner(self.directory, requests).items()):
+            datas = self.network.fetch_pages(
+                requester, owner, [(block_id, page) for _, page, block_id in items]
+            )
+            result.pages.extend(
+                (logical_key, page, data)
+                for (logical_key, page, _), data in zip(items, datas)
+            )
+            result.exchanges += 1
+            result.nbytes += sum(int(d.nbytes) for d in datas)
+        return result
 
     # ------------------------------------------------------------------
     def run_spmd(

@@ -62,6 +62,15 @@ class TaskCounters:
     plan_sites: int = 0
     plan_compiles: int = 0
     plan_fallback_sites: int = 0
+    #: Communication-plan activity (aggregated per-neighbor halo
+    #: exchange): how many comm plans were compiled, how many aggregated
+    #: request/reply exchanges ran, how many pages those exchanges moved,
+    #: and how many pages still went through the per-page fallback path
+    #: (MMAT off, plan invalidated, or a failed-refresh repair fetch).
+    comm_plan_compiles: int = 0
+    comm_plan_exchanges: int = 0
+    comm_plan_pages: int = 0
+    comm_plan_fallback_pages: int = 0
     #: Qualitative access pattern of the workload ('contiguous'|'random'|'bucketed')
     #: recorded by the DSL layer, consumed by the shared-memory contention model.
     access_pattern: str = "contiguous"
@@ -144,6 +153,9 @@ class TraceRecorder:
             "plan_gathers": self.total("plan_gathers"),
             "plan_sites": self.total("plan_sites"),
             "plan_fallback_sites": self.total("plan_fallback_sites"),
+            "comm_plan_exchanges": self.total("comm_plan_exchanges"),
+            "comm_plan_pages": self.total("comm_plan_pages"),
+            "comm_plan_fallback_pages": self.total("comm_plan_fallback_pages"),
         }
 
 

@@ -168,6 +168,102 @@ class TestPageFetch:
 
 
 # ----------------------------------------------------------------------
+# batched page transport (comm-plan exchange)
+# ----------------------------------------------------------------------
+
+
+class TestBulkFetch:
+    """Every backend honours the batched transport op's contract."""
+
+    @staticmethod
+    def _register(world, ctx):
+        rank = ctx.mpi_rank
+        world.register_env(rank, PageEndpoint(rank))
+        world.register_block(("blk", rank), rank, 7 + rank, owner=True)
+        world.commit_registration()
+        return rank
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_empty_request_set(self, backend, size):
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            result = world.fetch_pages_bulk(rank, [])
+            world.barrier()
+            return (len(result.pages), result.exchanges, result.nbytes)
+
+        results = world.run_spmd(body)
+        assert [r.value for r in results] == [(0, 0, 0)] * size
+        assert world.traffic_summary()["bulk_fetches"] == 0
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_self_rank_request(self, backend, size):
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            result = world.fetch_pages_bulk(
+                rank, [(("blk", rank), 0), (("blk", rank), 2)]
+            )
+            world.barrier()
+            return (result.exchanges, [list(data) for _, _, data in result.pages])
+
+        results = world.run_spmd(body)
+        for rank, result in enumerate(results):
+            exchanges, pages = result.value
+            assert exchanges == 1  # one owner (the rank itself) -> one exchange
+            base = 1000.0 * rank + 10.0 * (7 + rank)
+            np.testing.assert_allclose(pages[0], np.arange(4) + base + 0)
+            np.testing.assert_allclose(pages[1], np.arange(4) + base + 2)
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_mixed_owner_batch(self, backend, size):
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            requests = [(("blk", owner), 1) for owner in range(size)]
+            result = world.fetch_pages_bulk(rank, requests)
+            world.barrier()  # keep every rank serving until all fetched
+            return (
+                result.exchanges,
+                [(key, list(data)) for key, _, data in result.pages],
+            )
+
+        results = world.run_spmd(body)
+        for result in results:
+            exchanges, pages = result.value
+            assert exchanges == size  # one aggregated exchange per owner
+            assert [key for key, _ in pages] == [("blk", o) for o in range(size)]
+            for (_, owner), values in pages:
+                expected = np.arange(4) + 1000.0 * owner + 10.0 * (7 + owner) + 1
+                np.testing.assert_allclose(values, expected)
+        stats = world.traffic_summary()
+        assert stats["page_fetches"] == size * size
+        assert stats["bulk_fetches"] == size * size  # size exchanges per rank
+        assert stats["bulk_pages"] == size * size
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_unresolvable_owner_raises(self, backend, size):
+        from repro.runtime import NetworkError
+
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            try:
+                with pytest.raises(NetworkError, match="no owner registered"):
+                    world.fetch_pages_bulk(rank, [(("ghost", 99), 0)])
+            finally:
+                world.barrier()
+            return "ok"
+
+        results = world.run_spmd(body)
+        assert [r.value for r in results] == ["ok"] * size
+
+
+# ----------------------------------------------------------------------
 # error propagation
 # ----------------------------------------------------------------------
 
@@ -288,6 +384,7 @@ class TestNumericalEquivalence:
         )
         assert set(run.network) == {
             "messages", "bytes_moved", "barriers", "allreduces", "page_fetches",
+            "bulk_fetches", "bulk_pages", "per_neighbor",
         }
         if ranks > 1:
             assert run.network["page_fetches"] > 0
