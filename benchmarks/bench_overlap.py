@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Overlapped halo exchange vs the blocking aggregated exchange.
+
+Runs the 2-D Jacobi structured-grid sweep on a 4-rank distributed world
+twice per backend — once with the blocking per-neighbor CommPlan
+refresh of PR 4 (``overlap=False``) and once with the overlapped mode
+(``overlap=True``: nonblocking ``fetch_pages_bulk_async`` issued right
+after the step barrier, completed mid-sweep once the interior segment
+is done) — and reports wall-clock, page-exchange message counts and the
+**overlap efficiency**: the fraction of the halo flight time that hid
+behind interior computation, ``1 - overlap_wait_ns/overlap_flight_ns``
+from the ``overlap_*`` trace counters.
+
+Gates (checked on the process-backend row):
+
+* both modes must produce numerically identical results;
+* the overlapped mode must move exactly as many messages as blocking
+  (overlap changes *when* the halo moves, never *how much*);
+* overlap efficiency must clear ``--min-efficiency`` (default 0.5 at
+  full size — the acceptance criterion: interior compute overlaps at
+  least half of the halo fetch latency; the tiny ``--smoke`` problems
+  leave little interior compute to hide behind, so the smoke gate is
+  0.05).
+
+Wall-clock is reported for the perf-gate trajectory
+(``compare_bench.py`` fails CI on a >30% regression) but is not gated
+here: on a single-core container the ranks time-share one CPU, so
+hiding latency cannot shorten the critical path — the win shows up on
+real multi-core hosts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_overlap.py
+    PYTHONPATH=src python benchmarks/bench_overlap.py --smoke
+    PYTHONPATH=src python benchmarks/bench_overlap.py --json BENCH_overlap.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import (  # noqa: E402
+    Workload,
+    format_table,
+    mpi_aspects,
+    run_platform,
+    sgrid_workload,
+)
+
+RANKS = 4
+FULL_GATE = 0.50   # acceptance: >=50% of the halo latency hidden (full size)
+SMOKE_GATE = 0.05  # tiny smoke problems barely out-compute the scheduler
+
+
+def _timed_run(work: Workload, *, backend: str, overlap: bool, repeats: int):
+    """Best-of-``repeats`` 4-rank run of ``work`` (MMAT + comm plans on)."""
+    best_s = None
+    best_run = None
+    for _ in range(max(repeats, 1)):
+        run = run_platform(
+            work,
+            aspects=mpi_aspects(RANKS, backend=backend, overlap=overlap),
+            mmat=True,
+        )
+        if best_s is None or run.elapsed < best_s:
+            best_s = run.elapsed
+            best_run = run
+    return best_s, best_run
+
+
+def _messages(run) -> int:
+    """Page-exchange messages of a run (trace counters exclude collectives)."""
+    return sum(c.messages for c in run.counters.values())
+
+
+def _results_equivalent(a_run, b_run) -> bool:
+    a = np.asarray(a_run.result, dtype=np.float64)
+    b = np.asarray(b_run.result, dtype=np.float64)
+    return a.shape == b.shape and bool(
+        np.array_equal(np.nan_to_num(a, nan=-1.0), np.nan_to_num(b, nan=-1.0))
+    )
+
+
+def measure_overlap(work: Workload, backends, *, repeats: int = 3) -> list:
+    rows = []
+    for backend in backends:
+        blocking_s, blocking_run = _timed_run(
+            work, backend=backend, overlap=False, repeats=repeats
+        )
+        overlap_s, overlap_run = _timed_run(
+            work, backend=backend, overlap=True, repeats=repeats
+        )
+        counters = overlap_run.counters.values()
+        rows.append(
+            {
+                "workload": f"{work.name} ({backend})",
+                "backend": backend,
+                "ranks": RANKS,
+                "blocking_s": blocking_s,
+                "overlap_s": overlap_s,
+                "efficiency": overlap_run.overlap_efficiency(),
+                "overlap_exchanges": sum(c.overlap_exchanges for c in counters),
+                "overlap_pages": sum(c.overlap_pages for c in counters),
+                "drained": sum(c.overlap_drained for c in counters),
+                "blocking_messages": _messages(blocking_run),
+                "overlap_messages": _messages(overlap_run),
+                "equivalent": _results_equivalent(blocking_run, overlap_run),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--loops", type=int, default=4, help="time steps per run")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per configuration (best wall-clock kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small problem, 1 repeat (CI); relaxed efficiency gate")
+    parser.add_argument("--min-efficiency", type=float, default=None,
+                        help="overlap-efficiency gate on the process row "
+                             f"(default {FULL_GATE} full / {SMOKE_GATE} smoke)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="emit the rows as JSON (perf trajectory for future PRs)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        # Small enough for CI, big enough that some latency still hides.
+        work = sgrid_workload(96, loops=args.loops, block_size=48).with_config(
+            page_elements=1152
+        )
+        repeats = 1
+        gate = SMOKE_GATE if args.min_efficiency is None else args.min_efficiency
+    else:
+        # One 256x256 block per rank: the interior sweep clearly
+        # out-computes the per-neighbor reply latency.
+        work = sgrid_workload(512, loops=args.loops, block_size=256).with_config(
+            page_elements=8192
+        )
+        repeats = args.repeats
+        gate = FULL_GATE if args.min_efficiency is None else args.min_efficiency
+
+    rows = measure_overlap(work, ("threads", "process"), repeats=repeats)
+    print(format_table(
+        rows, title=f"Overlapped vs blocking halo exchange ({RANKS} ranks)"
+    ))
+
+    if args.json:
+        doc = {"mode": "smoke" if args.smoke else "full", "ranks": RANKS,
+               "overlap": rows}
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if not all(row["equivalent"] for row in rows):
+        print("FAILED: overlapped results diverge from the blocking exchange")
+        return 1
+    if any(row["overlap_messages"] != row["blocking_messages"] for row in rows):
+        print("FAILED: overlap changed the page-exchange message count")
+        return 1
+    process_row = next(row for row in rows if row["backend"] == "process")
+    if process_row["efficiency"] < gate:
+        print(
+            f"FAILED: process-backend overlap efficiency "
+            f"{process_row['efficiency']:.0%} below the {gate:.0%} gate"
+        )
+        return 1
+    print(
+        f"OK: process-backend interior compute hid "
+        f"{process_row['efficiency']:.0%} of the halo fetch latency "
+        f"(gate {gate:.0%}, {process_row['overlap_pages']} pages over "
+        f"{process_row['overlap_exchanges']} overlapped exchanges)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

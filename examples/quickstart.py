@@ -111,6 +111,16 @@ def main() -> None:
     print(f"MPI x4 halo aggregation: {mpi.comm_aggregation_ratio():.1f} pages "
           f"per exchange across {mpi.comm_neighbor_links()} neighbor links")
 
+    # Those exchanges ran *overlapped*: issued nonblocking right after
+    # each step barrier and completed mid-sweep, once the interior sites
+    # were updated.  Overlap efficiency is the fraction of the halo
+    # round-trip that hid behind that interior computation (the
+    # `overlap=… eff=…` section of summary() above).
+    print(f"MPI x4 overlap efficiency: {mpi.overlap_efficiency():.0%} of the "
+          f"halo latency hidden behind interior compute")
+    print(f"MPI x2 (processes) overlap efficiency: "
+          f"{procs.overlap_efficiency():.0%}")
+
 
 if __name__ == "__main__":
     main()

@@ -107,6 +107,7 @@ class PlatformRun:
             if fallback:
                 line += f" fallback={fallback}"
         line += self._comm_plan_summary()
+        line += self._overlap_summary()
         return line
 
     def _comm_plan_summary(self) -> str:
@@ -131,6 +132,36 @@ class PlatformRun:
         if fallback_pages:
             part += f" perpage={fallback_pages}pg"
         return part
+
+    def _overlap_summary(self) -> str:
+        """The ``overlap=…`` section of :meth:`summary` (hidden halo latency).
+
+        Reports how many exchanges ran overlapped, the overlap
+        efficiency (the fraction of the halo flight time that hid behind
+        interior computation, ``1 - wait/flight``), and how many
+        exchanges were merely drained at a synchronisation point (no
+        compute overlapped them).
+        """
+        exchanges = sum(c.overlap_exchanges for c in self.counters.values())
+        if not exchanges:
+            return ""
+        part = f" overlap={exchanges}ex eff={self.overlap_efficiency():.0%}"
+        drained = sum(c.overlap_drained for c in self.counters.values())
+        if drained:
+            part += f" drained={drained}"
+        return part
+
+    def overlap_efficiency(self) -> float:
+        """Fraction of the overlapped halo flight time hidden behind compute.
+
+        ``1.0`` means every exchange had fully completed by the time a
+        sweep waited on it (the whole round-trip hid behind interior
+        computation); ``0.0`` means every wait blocked for the full
+        flight time — or that no overlapped exchange ran at all.
+        """
+        wait = sum(c.overlap_wait_ns for c in self.counters.values())
+        flight = sum(c.overlap_flight_ns for c in self.counters.values())
+        return 1.0 - wait / flight if flight else 0.0
 
     def comm_neighbor_links(self) -> int:
         """Directed rank pairs that exchanged page traffic (0 when untracked)."""

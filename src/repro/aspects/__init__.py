@@ -11,13 +11,14 @@ One reusable aspect module per HPC-system layer:
 
 from .base import LayerAspect
 from .hybrid import PhaseTraceAspect, hybrid_aspects, mpi_aspects, openmp_aspects
-from .mpi_aspect import CommPlan, DistributedMemoryAspect
+from .mpi_aspect import CommPlan, DistributedMemoryAspect, PendingHalo
 from .openmp_aspect import SharedMemoryAspect
 
 __all__ = [
     "LayerAspect",
     "CommPlan",
     "DistributedMemoryAspect",
+    "PendingHalo",
     "SharedMemoryAspect",
     "PhaseTraceAspect",
     "hybrid_aspects",

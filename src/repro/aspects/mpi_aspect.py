@@ -24,7 +24,14 @@ This module weaves the distributed-memory layer into an application:
   statically known and the prefetch is compiled into a :class:`CommPlan`
   executed as **one aggregated message pair per neighbor rank**
   (:meth:`ExecutionWorld.fetch_pages_bulk`); without plans the original
-  per-page protocol runs unchanged.
+  per-page protocol runs unchanged.  In the default **overlapped** mode
+  (``overlap=True``) the planned exchange is issued *nonblocking*
+  (:meth:`ExecutionWorld.fetch_pages_bulk_async`) right after the step
+  barrier and parked on the Env as a :class:`PendingHalo`; the next
+  sweep computes its interior segment while the pages travel and
+  completes the exchange only when it first touches halo data — hiding
+  the communication round-trip behind computation, with numerically
+  identical results.
 
 The module also registers every rank's Env and Blocks in the world's
 :class:`~repro.runtime.simmpi.BlockDirectory` (after ``Initialize``),
@@ -39,20 +46,21 @@ match expressions.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Set, Tuple
 
-from ..aop.advice import after_returning, around
+from ..aop.advice import after_returning, around, before
 from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.page import PageKey
 from ..runtime.backends import DEFAULT_BACKEND, get_backend
-from ..runtime.backends.base import ExecutionWorld
+from ..runtime.backends.base import CommHandle, ExecutionWorld
 from ..runtime.errors import NetworkError, PageFetchError
 from ..runtime.task import current_task
 from ..runtime.tracing import global_trace
 from .base import LayerAspect
 
-__all__ = ["CommPlan", "DistributedMemoryAspect"]
+__all__ = ["CommPlan", "DistributedMemoryAspect", "PendingHalo"]
 
 
 @dataclass
@@ -86,6 +94,73 @@ class CommPlan:
         return self._index[(logical_key, page_index)]
 
 
+class PendingHalo:
+    """One rank's overlapped halo exchange, issued but not yet installed.
+
+    Created by the refresh advice right after the step barrier (the
+    ``breq`` manifests are already on the wire / the background fetches
+    running) and attached to the rank's Env via
+    :meth:`~repro.memory.env.Env.set_pending_halo`.  The first reader
+    that needs halo data — the boundary phase of
+    :meth:`~repro.dsl.base.BlockKernel.sweep_segment`, a boundary plan
+    segment, a scalar Buffer-only access, or the next refresh — calls
+    :meth:`complete`, which waits the :class:`CommHandle`, bulk-installs
+    the pages through the CommPlan's manifest and accounts the traffic
+    plus the ``overlap_*`` timing counters.  Everything between issue
+    and completion is computation the exchange latency hid behind.
+    """
+
+    __slots__ = ("plan", "handle", "trace", "issued_ns")
+
+    def __init__(self, plan: CommPlan, handle: CommHandle, trace) -> None:
+        self.plan = plan
+        self.handle = handle
+        self.trace = trace
+        self.issued_ns = time.perf_counter_ns()
+
+    def complete(self, env, *, drained: bool = False) -> None:
+        """Wait for the exchange, install its pages, account the traffic.
+
+        ``drained=True`` marks a completion at a synchronisation point
+        (refresh entry, finalize, re-issue) where no interior compute
+        ran in between — counted separately so the overlap-efficiency
+        report distinguishes hidden from merely deferred latency.
+        """
+        trace = self.trace
+        wait_start = time.perf_counter_ns()
+        try:
+            result = self.handle.wait()
+        except PageFetchError:
+            raise
+        except NetworkError as exc:
+            raise PageFetchError(
+                f"overlapped halo exchange of {len(self.plan.requests)} pages "
+                f"failed: {exc}"
+            ) from exc
+        completed = time.perf_counter_ns()
+        plan = self.plan
+        env.page_install_many(
+            (plan.key_for(lk, page), data) for lk, page, data in result.pages
+        )
+        trace.pages_fetched += len(result.pages)
+        trace.bytes_fetched += result.nbytes
+        trace.messages += 2 * result.exchanges
+        # The exchange is still a comm-plan exchange (aggregated per
+        # neighbor); the overlap_* counters add the async dimension.
+        trace.comm_plan_exchanges += result.exchanges
+        trace.comm_plan_pages += len(result.pages)
+        trace.overlap_exchanges += result.exchanges
+        trace.overlap_pages += len(result.pages)
+        if drained:
+            # Drained latency was deferred, not hidden: keep it out of
+            # the wait/flight sums so overlap efficiency only measures
+            # exchanges a sweep actually computed behind.
+            trace.overlap_drained += 1
+        else:
+            trace.overlap_wait_ns += completed - wait_start
+            trace.overlap_flight_ns += completed - self.issued_ns
+
+
 class DistributedMemoryAspect(LayerAspect):
     """Aspect module managing the distributed-memory (MPI-like) layer.
 
@@ -109,6 +184,7 @@ class DistributedMemoryAspect(LayerAspect):
         timeout: float = 60.0,
         backend: str | None = None,
         comm_plans: bool = True,
+        overlap: bool = True,
     ) -> None:
         super().__init__(parallelism=processes)
         self.timeout = timeout
@@ -117,6 +193,13 @@ class DistributedMemoryAspect(LayerAspect):
         #: exchange) from warmed-up access plans; False keeps the
         #: original one-message-pair-per-page protocol everywhere.
         self.comm_plans = bool(comm_plans)
+        #: Whether the planned halo refresh runs *overlapped*: issued
+        #: nonblocking right after the step barrier and completed only
+        #: when the next sweep first touches halo data, hiding the
+        #: communication latency behind the interior computation.
+        #: False keeps the blocking aggregated exchange; either way the
+        #: per-page protocol remains the fallback when no plans exist.
+        self.overlap = bool(overlap)
         self.world: ExecutionWorld | None = None
         #: Dry-run record: rank -> set of local PageKeys that had to be
         #: fetched at least once; prefetched after every successful refresh.
@@ -216,6 +299,11 @@ class DistributedMemoryAspect(LayerAspect):
         rank = task.mpi_rank
         trace = global_trace().for_task()
 
+        # Finish any overlapped exchange still in flight (e.g. the sweep
+        # never touched halo data this step) before agreeing on the step
+        # outcome: its pages count as delivered, not missing.
+        env.complete_pending_halo(drained=True)
+
         local_ok = not env.missing_pages
         global_ok = world.allreduce_and(local_ok)
         trace.collectives += 1
@@ -255,10 +343,27 @@ class DistributedMemoryAspect(LayerAspect):
         plan_pages = env.plan_page_requirements()
         prefetch |= plan_pages
         if self.comm_plans and plan_pages:
-            self._exchange_planned(env, rank, prefetch, trace)
+            if self.overlap:
+                self._exchange_planned_async(env, rank, prefetch, trace)
+            else:
+                self._exchange_planned(env, rank, prefetch, trace)
         else:
             self._fetch_pages(env, rank, prefetch, trace)
         return result
+
+    # ------------------------------------------------------------------
+    @before("tagged('platform.finalize')", order=0)
+    def drain_overlap(self, jp):
+        """Complete a halo exchange still in flight when the program ends.
+
+        The last step's refresh issues an exchange no sweep will ever
+        consume; draining it here keeps the traffic accounting identical
+        to the blocking path and leaves no reply in flight when the
+        world tears down.
+        """
+        env = getattr(jp.target, "env", None)
+        if env is not None:
+            env.complete_pending_halo(drained=True)
 
     # ------------------------------------------------------------------
     def _comm_plan_for(self, env, rank: int, keys: Set[PageKey], trace) -> CommPlan:
@@ -311,6 +416,35 @@ class DistributedMemoryAspect(LayerAspect):
         trace.messages += 2 * result.exchanges
         trace.comm_plan_exchanges += result.exchanges
         trace.comm_plan_pages += len(result.pages)
+
+    def _exchange_planned_async(self, env, rank: int, keys: Set[PageKey], trace) -> None:
+        """Issue the planned halo refresh nonblocking (overlapped mode).
+
+        The aggregated per-neighbor requests leave immediately
+        (:meth:`ExecutionWorld.fetch_pages_bulk_async`); the resulting
+        :class:`PendingHalo` is parked on the Env and completed by the
+        first halo reader of the next sweep — everything computed until
+        then overlaps the exchange.  Owner-resolution failures surface
+        here, at issue time, exactly as on the blocking path.
+        """
+        if not keys:
+            return
+        world = self.world
+        assert world is not None
+        plan = self._comm_plan_for(env, rank, keys, trace)
+        try:
+            handle = world.fetch_pages_bulk_async(
+                rank, [(lk, page) for _, lk, page in plan.requests]
+            )
+        except PageFetchError:
+            raise
+        except NetworkError as exc:
+            raise PageFetchError(
+                f"rank {rank} failed to issue the overlapped halo exchange of "
+                f"{len(plan.requests)} pages: {exc}"
+            ) from exc
+        trace.overlap_issues += 1
+        env.set_pending_halo(PendingHalo(plan, handle, trace))
 
     # ------------------------------------------------------------------
     def _fetch_pages(self, env, rank: int, keys: Set[PageKey], trace) -> None:

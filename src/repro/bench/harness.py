@@ -235,24 +235,29 @@ def configuration_aspects(
     omp: int = 1,
     backend: Optional[str] = None,
     comm_plans: bool = True,
+    overlap: bool = True,
 ):
     """Aspect stack for a configuration label ('serial'|'nop'|'mpi'|'omp'|'hybrid').
 
     ``comm_plans=False`` keeps the distributed layer on the paper
     prototype's one-message-pair-per-page protocol (the scaling figures
     model that prototype; the aggregated exchange is benchmarked
-    separately in ``benchmarks/bench_comm_plans.py``).
+    separately in ``benchmarks/bench_comm_plans.py``); ``overlap=False``
+    keeps the aggregated exchange blocking (``benchmarks/bench_overlap.py``
+    measures the difference).
     """
     if label == "serial":
         return None
     if label == "nop":
         return []
     if label == "mpi":
-        return mpi_aspects(mpi, backend=backend, comm_plans=comm_plans)
+        return mpi_aspects(mpi, backend=backend, comm_plans=comm_plans, overlap=overlap)
     if label == "omp":
         return openmp_aspects(omp)
     if label == "hybrid":
-        return hybrid_aspects(mpi, omp, backend=backend, comm_plans=comm_plans)
+        return hybrid_aspects(
+            mpi, omp, backend=backend, comm_plans=comm_plans, overlap=overlap
+        )
     raise ValueError(f"unknown configuration {label!r}")
 
 

@@ -136,23 +136,30 @@ class BlockKernel:
         offsets = tuple(tuple(int(c) for c in off) for off in offsets)
         env = self.env
         block = self.block
-        mmat = env.mmat
-        if not mmat.enabled:
+        if not env.mmat.enabled:
             out = self._gather_offsets_scalar(offsets)
         else:
-            key = (block.block_id, "offsets", offsets)
-            plan = mmat.plan_lookup(key)
-            if plan is None:
-                plan = compile_offsets_plan(env, block, offsets)
-                mmat.plan_store(key, plan)
-                self._trace.plan_compiles += 1
+            plan = self._offsets_plan(offsets)
             out = plan.execute(env)
-            mmat.note_execution(plan)
+            env.mmat.note_execution(plan)
             self._trace.plan_gathers += 1
             self._trace.plan_sites += plan.n_sites
         if block.components == 1:
             return out.reshape((len(offsets),) + block.shape)
         return out.reshape(len(offsets), block.element_count, block.components)
+
+    def _offsets_plan(self, offsets):
+        """Cached-or-compiled access plan for normalized stencil ``offsets``."""
+        env = self.env
+        block = self.block
+        mmat = env.mmat
+        key = (block.block_id, "offsets", offsets)
+        plan = mmat.plan_lookup(key)
+        if plan is None:
+            plan = compile_offsets_plan(env, block, offsets)
+            mmat.plan_store(key, plan)
+            self._trace.plan_compiles += 1
+        return plan
 
     def gather_global(self, addresses, *, key: Optional[str] = None) -> np.ndarray:
         """Bulk-read arbitrary *global* addresses (indirect neighbours).
@@ -210,8 +217,80 @@ class BlockKernel:
 
         ``fn`` receives one array per offset (each shaped like the
         Block) and must return the new field, shaped like the Block.
+        When an overlapped halo exchange is in flight the sweep runs
+        through :meth:`sweep_segment` (interior sites first, halo wait,
+        boundary sites) — see its note on the elementwise ``fn``
+        contract, which every stencil update satisfies by construction.
         """
-        self.scatter(fn(*self.gather(offsets)))
+        self.sweep_segment(fn, offsets)
+
+    def sweep_segment(
+        self, fn: Callable[..., np.ndarray], offsets: Sequence[Sequence[int]]
+    ) -> None:
+        """Overlap-aware sweep: compute the interior while the halo travels.
+
+        The compiled access plan is split into its interior and boundary
+        sub-plans (:meth:`~repro.memory.mmat.AccessPlan.split`).  Sites
+        whose stencil touches only locally-owned data are gathered *and
+        updated* first; only then is the in-flight halo exchange
+        completed (``Env.complete_pending_halo``) and the halo-dependent
+        boundary sites finished — so the whole communication round-trip
+        hides behind the interior computation.  Without a pending
+        exchange, a compiled plan, or any halo dependence, this is
+        exactly :meth:`gather` + ``fn`` + :meth:`scatter`.
+
+        ``fn`` must be *elementwise over sites*: each output site may
+        depend only on the per-offset values gathered **at that site**
+        (true for every stencil update — the per-offset arrays exist
+        precisely so ``fn`` needs no internal shifting).  ``fn`` is
+        applied to 1-D site slices here, so it must not assume the
+        block's 2-D/3-D shape.
+        """
+        offsets = tuple(tuple(int(c) for c in off) for off in offsets)
+        env = self.env
+        block = self.block
+        plan = self._offsets_plan(offsets) if env.mmat.enabled else None
+        if plan is None or not plan.has_halo or not env.has_pending_halo():
+            # No overlap opportunity: the plain gather path (which itself
+            # completes a pending exchange before its boundary segments).
+            self.scatter(fn(*self.gather(offsets)))
+            return
+
+        n_off = len(offsets)
+        n_elem = block.element_count
+        comps = block.components
+        out = np.empty((plan.n_sites, comps), dtype=plan.dtype)
+        if plan.const_dst is not None:
+            out[plan.const_dst] = plan.const_vals
+        interior_segs, boundary_segs = plan.split()
+        missing = plan.gather_segments(env, interior_segs, out)
+
+        # Output elements whose stencil reaches halo data; everything
+        # else is computable from the interior gather alone.
+        interior_elems, boundary_elems = plan.element_partition()
+        per_offset = out.reshape(n_off, n_elem, comps)
+        result = np.empty((n_elem, comps), dtype=plan.dtype)
+
+        def apply(elems: np.ndarray) -> None:
+            if not elems.size:
+                return
+            if comps == 1:
+                args = [per_offset[oi, elems, 0] for oi in range(n_off)]
+                result[elems, 0] = np.asarray(fn(*args)).reshape(elems.size)
+            else:
+                args = [per_offset[oi, elems] for oi in range(n_off)]
+                result[elems] = np.asarray(fn(*args)).reshape(elems.size, comps)
+
+        apply(interior_elems)            # … while the halo is in flight
+        env.complete_pending_halo()      # wait + install the halo pages
+        missing += plan.gather_segments(env, boundary_segs, out)
+        apply(boundary_elems)            # finish the halo-dependent rim
+
+        plan.account(env, missing)
+        env.mmat.note_execution(plan)
+        self._trace.plan_gathers += 1
+        self._trace.plan_sites += plan.n_sites
+        self.scatter(result)
 
     # -- scalar fallbacks (MMAT disabled: no memoization allowed) ----------
     def _gather_offsets_scalar(self, offsets) -> np.ndarray:

@@ -24,6 +24,7 @@ The Env implements the Memory Library's Block-based interface
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -118,6 +119,12 @@ class Env:
         self.last_failed_pages: Set[PageKey] = set()
         #: The step counter advanced by successful, non-warm-up refreshes.
         self.step = 0
+        #: In-flight overlapped halo exchange installed by the
+        #: distributed-memory aspect (an object with ``complete(env, *,
+        #: drained=...)``); completed lazily by the first reader that
+        #: needs halo data, or drained at the next refresh / finalize.
+        self._pending_halo = None
+        self._halo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # tree construction (used by DSL layers)
@@ -274,6 +281,13 @@ class Env:
             buf = block.buffer.read_buffer
             page = buf.pages[buf.page_of(index)]
             if not (block.is_valid or page.valid):
+                # An overlapped halo exchange may still be in flight; its
+                # pages count as present — complete it and re-check before
+                # declaring the page missing (scalar-path overlap hook).
+                if self._pending_halo is not None:
+                    self.complete_pending_halo()
+                    page = buf.pages[buf.page_of(index)]
+            if not (block.is_valid or page.valid):
                 key = PageKey(block.block_id, page.index)
                 self.missing_pages.add(key)
                 self.stats.missing_recorded += 1
@@ -375,6 +389,48 @@ class Env:
             if isinstance(block, BufferOnlyBlock):
                 block.invalidate()
                 self._dense_cache.pop(block.block_id, None)
+
+    # ------------------------------------------------------------------
+    # overlapped halo exchange (used by the distributed-memory aspect)
+    # ------------------------------------------------------------------
+    def set_pending_halo(self, pending) -> None:
+        """Install an in-flight overlapped halo exchange on this Env.
+
+        Any exchange still pending from a previous step is completed
+        first (its pages would otherwise overwrite the newer data),
+        then ``pending`` becomes the exchange the next halo reader —
+        a boundary plan segment, a scalar Buffer-only access, or the
+        next refresh — will complete.
+        """
+        self.complete_pending_halo(drained=True)
+        with self._halo_lock:
+            self._pending_halo = pending
+
+    def has_pending_halo(self) -> bool:
+        """Whether an overlapped halo exchange is still in flight."""
+        return self._pending_halo is not None
+
+    def complete_pending_halo(self, *, drained: bool = False) -> bool:
+        """Wait for and install the in-flight halo exchange, if any.
+
+        Thread-safe (hybrid runs: several shared-memory threads sweep
+        one rank's Env concurrently — exactly one completes the
+        exchange, the others block until the pages are installed).
+        ``drained=True`` marks a completion that hid no latency (refresh
+        entry / re-issue), accounted separately by the aspect.  Returns
+        True when an exchange was completed by this call.
+        """
+        if self._pending_halo is None:
+            return False
+        with self._halo_lock:
+            pending = self._pending_halo
+            if pending is None:
+                return False
+            try:
+                pending.complete(self, drained=drained)
+            finally:
+                self._pending_halo = None
+            return True
 
     # ------------------------------------------------------------------
     # bulk access (used by compiled access plans)

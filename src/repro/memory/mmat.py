@@ -94,6 +94,9 @@ class AccessPlan:
         "in_block_sites",
         "resolved_sites",
         "out_of_block_sites",
+        "_split",
+        "_halo_sites",
+        "_elem_partition",
     )
 
     def __init__(
@@ -124,6 +127,59 @@ class AccessPlan:
         #: sites the scalar path would serve from the MMAT memo.
         self.resolved_sites = int(resolved_sites)
         self.out_of_block_sites = int(out_of_block_sites)
+        self._split: Optional[Tuple[List[PlanSegment], List[PlanSegment]]] = None
+        self._halo_sites: Optional[np.ndarray] = None
+        self._elem_partition: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def split(self) -> Tuple[List[PlanSegment], List[PlanSegment]]:
+        """Partition the segments into ``(interior, boundary)`` sub-plans.
+
+        The *interior* sub-plan gathers only from locally-owned sources
+        (Data Blocks plus the compile-time constants), so it can run
+        before a halo exchange completed; the *boundary* sub-plan's
+        segments read Buffer-only (halo) pages and must wait for them.
+        The partition is what lets the overlapped refresh hide the halo
+        round-trip behind the interior computation.
+        """
+        if self._split is None:
+            interior = [seg for seg in self.segments if seg.check_pages is None]
+            boundary = [seg for seg in self.segments if seg.check_pages is not None]
+            self._split = (interior, boundary)
+        return self._split
+
+    @property
+    def has_halo(self) -> bool:
+        """Whether any segment gathers from a Buffer-only (halo) source."""
+        return bool(self.split()[1])
+
+    def halo_sites(self) -> np.ndarray:
+        """Flat output sites served by the boundary (halo) segments, sorted."""
+        if self._halo_sites is None:
+            boundary = self.split()[1]
+            if boundary:
+                self._halo_sites = np.unique(
+                    np.concatenate([seg.dst_idx for seg in boundary])
+                )
+            else:
+                self._halo_sites = np.empty(0, dtype=np.intp)
+        return self._halo_sites
+
+    def element_partition(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(interior, boundary)`` output *elements* of an offsets plan.
+
+        Valid for plans whose site order is offset-major over the block's
+        elements (``compile_offsets_plan``): a boundary element is one
+        whose stencil reaches halo data at any offset.  Cached — the
+        partition is pure in the plan, and the overlapped sweep needs it
+        every step.
+        """
+        if self._elem_partition is None:
+            n_elem = int(np.prod(self.shape))
+            boundary = np.unique(self.halo_sites() % n_elem)
+            interior = np.setdiff1d(np.arange(n_elem), boundary, assume_unique=True)
+            self._elem_partition = (interior, boundary)
+        return self._elem_partition
 
     # ------------------------------------------------------------------
     def execute(self, env) -> np.ndarray:
@@ -134,12 +190,29 @@ class AccessPlan:
         in ``env.missing_pages`` (the following refresh fails and the
         step is re-executed, exactly as on the scalar path) and filled
         with placeholder zeros.
+
+        The interior segments always run first; when an overlapped halo
+        exchange is still in flight (``env.has_pending_halo()``), it is
+        completed right before the first boundary segment reads halo
+        data — so every batched gather transparently overlaps the
+        exchange with at least its interior gather work.
         """
         out = np.empty((self.n_sites, self.components), dtype=self.dtype)
         if self.const_dst is not None:
             out[self.const_dst] = self.const_vals
+        interior, boundary = self.split()
+        missing = self.gather_segments(env, interior, out)
+        if boundary:
+            if env.has_pending_halo():
+                env.complete_pending_halo()
+            missing += self.gather_segments(env, boundary, out)
+        self.account(env, missing)
+        return out
+
+    def gather_segments(self, env, segments: List[PlanSegment], out: np.ndarray) -> int:
+        """Gather ``segments`` into ``out``; returns missing-page count."""
         missing = 0
-        for seg in self.segments:
+        for seg in segments:
             block = seg.block
             vals = env.dense_read(block)[seg.src_idx]
             if seg.check_pages is not None and not block.is_valid:
@@ -152,12 +225,15 @@ class AccessPlan:
                     missing += len(bad)
                     vals[np.isin(seg.src_pages, bad)] = 0.0
             out[seg.dst_idx] = vals
+        return missing
+
+    def account(self, env, missing: int) -> None:
+        """Credit one full execution of this plan to the Env's counters."""
         stats = env.stats
         stats.reads += self.n_sites
         stats.in_block_reads += self.in_block_sites
         stats.mmat_hits += self.resolved_sites
         stats.missing_recorded += missing
-        return out
 
     # ------------------------------------------------------------------
     def remote_pages(self) -> List[PageKey]:

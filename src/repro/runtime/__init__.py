@@ -21,6 +21,9 @@ the substitution rationale):
 from .backends import (
     DEFAULT_BACKEND,
     BackendError,
+    BulkFetchResult,
+    CommHandle,
+    CompletedCommHandle,
     ExecutionBackend,
     ExecutionWorld,
     available_backends,
@@ -45,6 +48,9 @@ from .tracing import TaskCounters, TraceRecorder, global_trace
 
 __all__ = [
     "BackendError",
+    "BulkFetchResult",
+    "CommHandle",
+    "CompletedCommHandle",
     "DEFAULT_BACKEND",
     "ExecutionBackend",
     "ExecutionWorld",

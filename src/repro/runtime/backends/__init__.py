@@ -31,6 +31,9 @@ from typing import Dict, List
 
 from .base import (
     BackendError,
+    BulkFetchResult,
+    CommHandle,
+    CompletedCommHandle,
     ExecutionBackend,
     ExecutionWorld,
     RankResult,
@@ -39,6 +42,9 @@ from .base import (
 
 __all__ = [
     "BackendError",
+    "BulkFetchResult",
+    "CommHandle",
+    "CompletedCommHandle",
     "DEFAULT_BACKEND",
     "ExecutionBackend",
     "ExecutionWorld",

@@ -33,6 +33,8 @@ from ..task import TaskContext
 __all__ = [
     "BackendError",
     "BulkFetchResult",
+    "CommHandle",
+    "CompletedCommHandle",
     "ExecutionBackend",
     "ExecutionWorld",
     "RankResult",
@@ -112,6 +114,68 @@ def group_requests_by_owner(
         owner, block_id = resolved
         grouped.setdefault(owner, []).append((logical_key, page_index, block_id))
     return grouped
+
+
+class CommHandle(abc.ABC):
+    """A nonblocking bulk page fetch in flight (overlapped halo exchange).
+
+    Returned by :meth:`ExecutionWorld.fetch_pages_bulk_async`.  The
+    requester issues the handle, computes its interior sweep while the
+    pages travel, then calls :meth:`wait` to obtain the
+    :class:`BulkFetchResult` before touching halo data.
+
+    ``wait()`` is **idempotent**: the first call blocks until every
+    in-flight exchange completed and memoizes the result (or the
+    failure); every later call returns the same result object (or
+    re-raises the same error) without blocking and — critically for
+    :class:`~repro.runtime.network.NetworkStats` — without accounting
+    the traffic a second time.  Backends implement :meth:`_wait` only.
+    """
+
+    __slots__ = ("_result", "_error", "_done")
+
+    def __init__(self) -> None:
+        self._result: Optional[BulkFetchResult] = None
+        self._error: Optional[BaseException] = None
+        self._done = False
+
+    @abc.abstractmethod
+    def _wait(self) -> BulkFetchResult:
+        """Block until completion; called at most once."""
+
+    def wait(self) -> BulkFetchResult:
+        """Block until the fetch completed; safe to call repeatedly."""
+        if not self._done:
+            try:
+                self._result = self._wait()
+            except BaseException as exc:
+                self._error = exc
+                raise
+            finally:
+                self._done = True
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`wait` already ran (successfully or not)."""
+        return self._done
+
+
+class CompletedCommHandle(CommHandle):
+    """An already-completed handle (serial backend / synchronous fallback)."""
+
+    __slots__ = ()
+
+    def __init__(self, result: BulkFetchResult) -> None:
+        super().__init__()
+        self._result = result
+        self._done = True
+
+    def _wait(self) -> BulkFetchResult:  # pragma: no cover - never reached
+        raise AssertionError("CompletedCommHandle is constructed completed")
 
 
 class ExecutionWorld(abc.ABC):
@@ -203,6 +267,23 @@ class ExecutionWorld(abc.ABC):
             result.exchanges += 1
             result.nbytes += int(data.nbytes)
         return result
+
+    def fetch_pages_bulk_async(
+        self, requester: int, requests: Sequence[Tuple[Any, int]]
+    ) -> CommHandle:
+        """Start fetching many pages without blocking; returns a :class:`CommHandle`.
+
+        The overlapped-refresh protocol issues this right after the step
+        barrier and waits the handle only once the interior sweep is
+        done, hiding the halo round-trip behind computation.  Owner
+        resolution failures surface at *issue* time (same exceptions as
+        :meth:`fetch_pages_bulk`).  This default implementation — used
+        by the ``serial`` backend and any custom backend that does not
+        override it — performs the exchange synchronously and returns an
+        immediate-completion handle, which is behaviourally identical to
+        the blocking path.
+        """
+        return CompletedCommHandle(self.fetch_pages_bulk(requester, requests))
 
     # -- accounting -----------------------------------------------------
     @abc.abstractmethod

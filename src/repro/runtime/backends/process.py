@@ -32,21 +32,28 @@ Messages are small tuples:
 The page-serving protocol
 -------------------------
 
-Remote pages are only ever fetched inside the collective refresh
-protocol of the distributed-memory aspect (between the success
-``allreduce`` and the step ``barrier``, plus the Dry-run prefetch right
-after it), so whenever rank A asks rank B for a page, rank B is either
-blocked in a collective or itself blocked on a page reply.  The single
-transport invariant that makes this deadlock-free is therefore:
+Each rank runs a dedicated **receiver thread** that continuously pumps
+every connection: incoming page requests (``preq``/``breq``) are served
+immediately out of the rank's registered Env snapshot — even while the
+rank's main thread is deep in kernel computation — and everything else
+is buffered into per-peer inboxes that the main thread's blocking waits
+consume.  Eager serving is what makes the *overlapped* halo exchange
+effective: a ``breq`` issued right after the step barrier is answered
+while its owner computes, so by the time the requester finishes its own
+interior sweep the reply is usually already buffered (the wait costs
+only the unpacking).  It is also what keeps the protocol deadlock-free:
+no rank ever depends on another rank reaching a blocking call before
+its requests are served.
 
-    **every blocking wait pumps all connections and services incoming
-    page requests immediately**; everything else is buffered per peer.
-
-A rank blocked in ``allreduce``/``barrier``/``fetch_page`` thus keeps
-serving its peers' page requests out of its registered Env snapshot.
-After the program body finishes (or raises), every rank enters a final
-``exit`` drain barrier so late prefetch requests of slower peers are
-still served before the process tears down.
+Serving from the receiver thread is safe for the same reason the
+one-sided fetches of the ``threads`` backend are: owners never mutate
+their *read* buffers between the synchronisation points of the refresh
+protocol, and every fetch — blocking or overlapped — completes before
+the collective that precedes the owner's next buffer swap (the refresh
+advice drains any in-flight exchange before entering the success
+allreduce).  After the program body finishes (or raises), every rank
+enters a final ``exit`` drain barrier so late prefetch requests of
+slower peers are still served before the process tears down.
 
 Every rank counts its own traffic in a local
 :class:`~repro.runtime.network.NetworkStats`; children ship their
@@ -77,6 +84,8 @@ from ..tracing import global_trace
 from .base import (
     BackendError,
     BulkFetchResult,
+    CommHandle,
+    CompletedCommHandle,
     ExecutionBackend,
     ExecutionWorld,
     RankResult,
@@ -108,6 +117,15 @@ def _force_picklable(obj: Any, fallback: Callable[[Any], Any]):
 class ProcessTransport:
     """Per-process endpoint of the pipe mesh (one instance per rank)."""
 
+    #: Test hook (interleaving stress): when set *before the world forks*,
+    #: every outgoing page reply is routed through
+    #: ``reply_shim(serving_rank, peer_rank, reply_msg) -> delay_seconds``
+    #: and enqueued only after that delay, so reply ordering across
+    #: owners/requests can be scrambled deterministically (the shim
+    #: derives the delay from a seed and the reply's request id).  Forked
+    #: children inherit the class attribute.  Never set in production.
+    reply_shim = None
+
     def __init__(
         self,
         rank: int,
@@ -124,6 +142,9 @@ class ProcessTransport:
         self.endpoint: Any = None
         self._peer_of = {id(conn): peer for peer, conn in conns.items()}
         self._inbox: Dict[int, deque] = {peer: deque() for peer in conns}
+        #: Guards the inboxes and the dead-peer set; the receiver thread
+        #: notifies it whenever a buffered message (or an EOF) arrives.
+        self._inbox_cond = threading.Condition()
         self._gens: Dict[str, int] = {}
         self._next_req = 0
         #: Peers whose connection hit EOF (or failed a send).  A clean
@@ -135,14 +156,21 @@ class ProcessTransport:
         # Connection.send blocks without timeout when the pipe buffer is
         # full, and two ranks fanning out a large collective payload to
         # each other (e.g. the registration allgather of a many-block
-        # Env) would deadlock if the protocol loop itself ever blocked
-        # in send.  With the sender decoupled, the protocol loop keeps
-        # pumping — so peers always drain, and sends always complete.
+        # Env) would deadlock if anything else ever blocked in send.
         self._outbox: queue.Queue = queue.Queue()
         self._sender = threading.Thread(
             target=self._sender_main, name=f"proc-mpi-sender-{rank}", daemon=True
         )
         self._sender.start()
+        # All inbound traffic goes through a dedicated receiver thread:
+        # page requests are served the moment they arrive (even while the
+        # main thread computes — the key to overlapped halo exchange),
+        # everything else lands in the per-peer inboxes above.
+        self._recv_stop = False
+        self._receiver = threading.Thread(
+            target=self._receiver_main, name=f"proc-mpi-recv-{rank}", daemon=True
+        )
+        self._receiver.start()
 
     # -- sending --------------------------------------------------------
     def _sender_main(self) -> None:
@@ -154,8 +182,10 @@ class ProcessTransport:
             try:
                 self.conns[peer].send(msg)
             except Exception:  # noqa: BLE001 - a failed send means the peer died;
-                # the protocol loop notices via _dead when it waits on them.
-                self._dead.add(peer)
+                # waits on that peer notice via _dead and fail fast.
+                with self._inbox_cond:
+                    self._dead.add(peer)
+                    self._inbox_cond.notify_all()
 
     def _send(self, peer: int, msg: tuple) -> None:
         self._outbox.put((peer, msg))
@@ -163,24 +193,30 @@ class ProcessTransport:
         self.stats.bytes_moved += _payload_nbytes(msg)
 
     # -- receiving ------------------------------------------------------
-    def _pump(self, wait_timeout: float) -> None:
-        """Receive whatever is available, servicing page requests inline."""
-        conns = [conn for peer, conn in self.conns.items() if peer not in self._dead]
-        if not conns:
-            return
-        for conn in connection_wait(conns, timeout=wait_timeout):
-            peer = self._peer_of[id(conn)]
-            try:
-                msg = conn.recv()
-            except (EOFError, OSError):
-                self._dead.add(peer)
+    def _receiver_main(self) -> None:
+        """Pump every connection until closed, serving page requests eagerly."""
+        while not self._recv_stop:
+            conns = [conn for peer, conn in self.conns.items() if peer not in self._dead]
+            if not conns:
+                time.sleep(0.01)
                 continue
-            if msg[0] == "preq":
-                self._serve_page(peer, msg)
-            elif msg[0] == "breq":
-                self._serve_page_batch(peer, msg)
-            else:
-                self._inbox[peer].append(msg)
+            for conn in connection_wait(conns, timeout=0.1):
+                peer = self._peer_of[id(conn)]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    with self._inbox_cond:
+                        self._dead.add(peer)
+                        self._inbox_cond.notify_all()
+                    continue
+                if msg[0] == "preq":
+                    self._serve_page(peer, msg)
+                elif msg[0] == "breq":
+                    self._serve_page_batch(peer, msg)
+                else:
+                    with self._inbox_cond:
+                        self._inbox[peer].append(msg)
+                        self._inbox_cond.notify_all()
 
     def _serve_page(self, peer: int, msg: tuple) -> None:
         """Answer a peer's page request from the local Env snapshot."""
@@ -197,7 +233,7 @@ class ProcessTransport:
                                      f"({block_id}, {page_index}): {exc!r}")
         # Uncounted send: the requester accounts the fetch traffic (one
         # request plus one reply), mirroring SimNetwork.fetch_page.
-        self._outbox.put((peer, reply))
+        self._post_reply(peer, reply)
 
     def _serve_page_batch(self, peer: int, msg: tuple) -> None:
         """Answer a batched page request with one packed payload + manifest."""
@@ -225,36 +261,53 @@ class ProcessTransport:
             reply = ("perr", req_id, f"rank {self.rank} could not serve page batch "
                                      f"of {len(items)} pages: {exc!r}")
         # Uncounted send, as for single pages: the requester accounts it.
+        self._post_reply(peer, reply)
+
+    def _post_reply(self, peer: int, reply: tuple) -> None:
+        """Enqueue a page reply, via the interleaving shim when installed."""
+        shim = type(self).reply_shim
+        if shim is not None:
+            delay = float(shim(self.rank, peer, reply))
+            if delay > 0:
+                timer = threading.Timer(delay, self._outbox.put, args=((peer, reply),))
+                timer.daemon = True
+                timer.start()
+                return
         self._outbox.put((peer, reply))
 
     def _await(self, peer: int, match: Callable[[tuple], bool], what: str,
                *, fail_on_exit: bool = False) -> tuple:
-        """Block until a message from ``peer`` matches, pumping meanwhile."""
+        """Block until a buffered message from ``peer`` matches.
+
+        The receiver thread does all the pumping (and page serving);
+        this just consumes from the peer's inbox under the condition.
+        """
         deadline = time.monotonic() + self.timeout
-        while True:
-            queue = self._inbox[peer]
-            for index, msg in enumerate(queue):
-                if match(msg):
-                    del queue[index]
-                    return msg
-            if fail_on_exit and any(
-                m[0] == "coll" and m[1] == "exit" for m in queue
-            ):
-                raise CollectiveError(
-                    f"rank {peer} exited while rank {self.rank} was waiting for {what}"
-                )
-            if peer in self._dead:
-                raise NetworkError(
-                    f"rank {peer} closed its connection while rank {self.rank} "
-                    f"was waiting for {what}"
-                )
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise CollectiveError(
-                    f"rank {self.rank} timed out after {self.timeout}s waiting "
-                    f"for {what} from rank {peer}"
-                )
-            self._pump(min(remaining, 0.25))
+        with self._inbox_cond:
+            while True:
+                queue = self._inbox[peer]
+                for index, msg in enumerate(queue):
+                    if match(msg):
+                        del queue[index]
+                        return msg
+                if fail_on_exit and any(
+                    m[0] == "coll" and m[1] == "exit" for m in queue
+                ):
+                    raise CollectiveError(
+                        f"rank {peer} exited while rank {self.rank} was waiting for {what}"
+                    )
+                if peer in self._dead:
+                    raise NetworkError(
+                        f"rank {peer} closed its connection while rank {self.rank} "
+                        f"was waiting for {what}"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CollectiveError(
+                        f"rank {self.rank} timed out after {self.timeout}s waiting "
+                        f"for {what} from rank {peer}"
+                    )
+                self._inbox_cond.wait(min(remaining, 0.25))
 
     # -- collectives ----------------------------------------------------
     def collective(self, kind: str, value: Any, op: Callable[[List[Any]], Any]) -> Any:
@@ -324,45 +377,69 @@ class ProcessTransport:
         the whole batch costs one request and one reply regardless of
         page count.
         """
+        if owner == self.rank:
+            return self._local_batch(items)
+        req_id = self.issue_batch(owner, items)
+        return self.await_batch(owner, req_id, items)
+
+    def _local_batch(self, items: List[Tuple[int, int]]) -> List[Any]:
+        """Serve a batch out of the rank's own Env (no messages, counted as bulk)."""
         from ...memory.page import PageKey  # local import to avoid a cycle
 
-        if owner == self.rank:
-            if self.endpoint is None:
-                raise NetworkError(f"rank {self.rank} has no registered Env")
-            datas: List[Any] = [
-                self.endpoint.page_snapshot(PageKey(block_id, page_index))
-                for block_id, page_index in items
-            ]
-        else:
-            self._next_req += 1
-            req_id = self._next_req
-            self._send(owner, ("breq", req_id, list(items)))
-            msg = self._await(
-                owner,
-                lambda m: m[0] in ("brep", "perr") and m[1] == req_id,
-                f"bulk page reply {req_id} ({len(items)} pages)",
-            )
-            if msg[0] == "perr":
-                raise NetworkError(msg[2])
-            payload, manifest = msg[2], msg[3]
-            datas = [
-                np.frombuffer(
-                    payload, dtype=dt, count=nbytes // dt.itemsize, offset=offset
-                ).reshape(shape)
-                for _block_id, _page_index, offset, nbytes, shape, dtype_str in manifest
-                for dt in (np.dtype(dtype_str),)
-            ]
-            payload_bytes = sum(int(d.nbytes) for d in datas)
-            self.stats.messages += 1  # the reply (the request was counted by _send)
-            self.stats.record_neighbor(self.rank, owner, 1, 32 + 16 * len(items))
-            self.stats.record_neighbor(owner, self.rank, 1, payload_bytes)
+        if self.endpoint is None:
+            raise NetworkError(f"rank {self.rank} has no registered Env")
+        datas: List[Any] = [
+            self.endpoint.page_snapshot(PageKey(block_id, page_index))
+            for block_id, page_index in items
+        ]
+        self._account_batch(datas)
+        return datas
+
+    def issue_batch(self, owner: int, items: List[Tuple[int, int]]) -> int:
+        """Send the batched page request *now*; returns the request id.
+
+        The nonblocking half of the overlapped exchange: the ``breq``
+        leaves immediately (the owner serves it next time it pumps,
+        i.e. inside whatever collective or fetch wait it blocks on
+        while this rank computes) and :meth:`await_batch` drains the
+        reply later.
+        """
+        self._next_req += 1
+        req_id = self._next_req
+        self._send(owner, ("breq", req_id, list(items)))
+        return req_id
+
+    def await_batch(self, owner: int, req_id: int, items: List[Tuple[int, int]]) -> List[Any]:
+        """Block until the ``brep`` for ``req_id`` arrived; unpack and account it."""
+        msg = self._await(
+            owner,
+            lambda m: m[0] in ("brep", "perr") and m[1] == req_id,
+            f"bulk page reply {req_id} ({len(items)} pages)",
+        )
+        if msg[0] == "perr":
+            raise NetworkError(msg[2])
+        payload, manifest = msg[2], msg[3]
+        datas = [
+            np.frombuffer(
+                payload, dtype=dt, count=nbytes // dt.itemsize, offset=offset
+            ).reshape(shape)
+            for _block_id, _page_index, offset, nbytes, shape, dtype_str in manifest
+            for dt in (np.dtype(dtype_str),)
+        ]
+        payload_bytes = sum(int(d.nbytes) for d in datas)
+        self.stats.messages += 1  # the reply (the request was counted by _send)
+        self.stats.record_neighbor(self.rank, owner, 1, 32 + 16 * len(items))
+        self.stats.record_neighbor(owner, self.rank, 1, payload_bytes)
+        self._account_batch(datas)
+        return datas
+
+    def _account_batch(self, datas: List[Any]) -> None:
         self.stats.page_fetches += len(datas)
         self.stats.bulk_fetches += 1
         self.stats.bulk_pages += len(datas)
         # Payload plus request header plus per-page manifest entries —
         # the same accounting shape as SimNetwork.fetch_pages.
         self.stats.bytes_moved += sum(int(d.nbytes) for d in datas) + 32 + 16 * len(datas)
-        return datas
 
     def close(self) -> None:
         # The sentinel queues behind any pending messages, so joining the
@@ -370,6 +447,9 @@ class ProcessTransport:
         # a slower peer is still waiting for) before the pipes close.
         self._outbox.put(None)
         self._sender.join(timeout=5.0)
+        # Stop the receiver before closing the pipes out from under it.
+        self._recv_stop = True
+        self._receiver.join(timeout=5.0)
         for conn in self.conns.values():
             try:
                 conn.close()
@@ -645,6 +725,30 @@ class ProcessWorld(ExecutionWorld):
             result.nbytes += sum(int(d.nbytes) for d in datas)
         return result
 
+    def fetch_pages_bulk_async(
+        self, requester: int, requests: Sequence[Tuple[Any, int]]
+    ) -> CommHandle:
+        """Nonblocking batched fetch: every ``breq`` leaves immediately.
+
+        One aggregated request per owning rank is sent right away (pages
+        owned by this rank are snapshotted inline, matching the blocking
+        path's timing); the returned handle drains the packed replies —
+        pumping and serving peer requests meanwhile — only when waited.
+        Owner resolution failures raise here, at issue time.
+        """
+        transport = self._transport
+        if transport is None:  # single-rank world: synchronous local serve
+            return CompletedCommHandle(self.fetch_pages_bulk(requester, requests))
+        grouped = sorted(group_requests_by_owner(self.directory, requests).items())
+        pending: List[Tuple[int, list, Optional[int], Optional[List[Any]]]] = []
+        for owner, items in grouped:
+            keyed = [(block_id, page) for _, page, block_id in items]
+            if owner == transport.rank:
+                pending.append((owner, items, None, transport._local_batch(keyed)))
+            else:
+                pending.append((owner, items, transport.issue_batch(owner, keyed), None))
+        return _ProcessBulkHandle(transport, pending)
+
     # -- lifecycle / accounting -----------------------------------------
     def finalize(self) -> None:
         self.rank_envs.clear()
@@ -663,6 +767,34 @@ class ProcessWorld(ExecutionWorld):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessWorld(size={self.size}, stats={self.stats.as_dict()})"
+
+
+class _ProcessBulkHandle(CommHandle):
+    """In-flight ``breq``/``brep`` exchanges of one async bulk fetch."""
+
+    __slots__ = ("_transport", "_pending")
+
+    def __init__(self, transport: ProcessTransport, pending) -> None:
+        super().__init__()
+        self._transport = transport
+        #: ``(owner, manifest items, req_id | None, local datas | None)``
+        #: per owner, in owner order (req_id None means served locally).
+        self._pending = pending
+
+    def _wait(self) -> BulkFetchResult:
+        result = BulkFetchResult()
+        for owner, items, req_id, datas in self._pending:
+            if datas is None:
+                datas = self._transport.await_batch(
+                    owner, req_id, [(block_id, page) for _, page, block_id in items]
+                )
+            result.pages.extend(
+                (logical_key, page, data)
+                for (logical_key, page, _), data in zip(items, datas)
+            )
+            result.exchanges += 1
+            result.nbytes += sum(int(d.nbytes) for d in datas)
+        return result
 
 
 class ProcessBackend(ExecutionBackend):

@@ -30,6 +30,7 @@ import numpy as np
 
 from .backends.base import (
     BulkFetchResult,
+    CommHandle,
     ExecutionWorld,
     RankResult,
     group_requests_by_owner,
@@ -164,6 +165,29 @@ class MPIWorld(ExecutionWorld):
             result.nbytes += sum(int(d.nbytes) for d in datas)
         return result
 
+    def fetch_pages_bulk_async(
+        self, requester: int, requests: Sequence[Tuple[Any, int]]
+    ) -> CommHandle:
+        """Nonblocking batched fetch: one background transfer per owner.
+
+        Owner resolution happens at issue time (unknown keys raise
+        immediately, as on the blocking path); the per-owner transfers
+        then run on background threads of the simulated network and the
+        returned handle assembles them — in owner order, so the result
+        is deterministic and identical to :meth:`fetch_pages_bulk`.
+        """
+        grouped = sorted(group_requests_by_owner(self.directory, requests).items())
+        batches = [
+            (
+                items,
+                self.network.fetch_pages_async(
+                    requester, owner, [(block_id, page) for _, page, block_id in items]
+                ),
+            )
+            for owner, items in grouped
+        ]
+        return _ThreadedBulkHandle(batches)
+
     # ------------------------------------------------------------------
     def run_spmd(
         self,
@@ -230,3 +254,26 @@ class MPIWorld(ExecutionWorld):
     def traffic_summary(self) -> dict:
         """Network counters, consumed by the scaling benchmarks."""
         return self.network.stats.as_dict()
+
+
+class _ThreadedBulkHandle(CommHandle):
+    """Aggregates the per-owner background transfers of one async bulk fetch."""
+
+    __slots__ = ("_batches",)
+
+    def __init__(self, batches) -> None:
+        super().__init__()
+        #: ``(manifest items, AsyncBatchFetch)`` per owner, in owner order.
+        self._batches = batches
+
+    def _wait(self) -> BulkFetchResult:
+        result = BulkFetchResult()
+        for items, batch in self._batches:
+            datas = batch.join()
+            result.pages.extend(
+                (logical_key, page, data)
+                for (logical_key, page, _), data in zip(items, datas)
+            )
+            result.exchanges += 1
+            result.nbytes += sum(int(d.nbytes) for d in datas)
+        return result

@@ -71,6 +71,20 @@ class TaskCounters:
     comm_plan_exchanges: int = 0
     comm_plan_pages: int = 0
     comm_plan_fallback_pages: int = 0
+    #: Overlapped halo-exchange activity: how many async refreshes were
+    #: issued, the aggregated exchanges/pages they moved, the time spent
+    #: blocked in ``CommHandle.wait`` (the *un-hidden* part of the halo
+    #: latency, ns), the total issue→completion flight time (ns), and
+    #: how many exchanges were drained at a synchronisation point instead
+    #: of mid-sweep (no compute overlapped them; drained completions are
+    #: excluded from the wait/flight sums).  Overlap efficiency =
+    #: ``1 - overlap_wait_ns / overlap_flight_ns``.
+    overlap_issues: int = 0
+    overlap_exchanges: int = 0
+    overlap_pages: int = 0
+    overlap_wait_ns: int = 0
+    overlap_flight_ns: int = 0
+    overlap_drained: int = 0
     #: Qualitative access pattern of the workload ('contiguous'|'random'|'bucketed')
     #: recorded by the DSL layer, consumed by the shared-memory contention model.
     access_pattern: str = "contiguous"
@@ -156,6 +170,12 @@ class TraceRecorder:
             "comm_plan_exchanges": self.total("comm_plan_exchanges"),
             "comm_plan_pages": self.total("comm_plan_pages"),
             "comm_plan_fallback_pages": self.total("comm_plan_fallback_pages"),
+            "overlap_issues": self.total("overlap_issues"),
+            "overlap_exchanges": self.total("overlap_exchanges"),
+            "overlap_pages": self.total("overlap_pages"),
+            "overlap_wait_ns": self.total("overlap_wait_ns"),
+            "overlap_flight_ns": self.total("overlap_flight_ns"),
+            "overlap_drained": self.total("overlap_drained"),
         }
 
 

@@ -264,6 +264,150 @@ class TestBulkFetch:
 
 
 # ----------------------------------------------------------------------
+# nonblocking batched transport (overlapped halo exchange)
+# ----------------------------------------------------------------------
+
+
+class TestAsyncBulkFetch:
+    """Every backend honours the nonblocking transport op's contract.
+
+    ``fetch_pages_bulk_async`` must return a :class:`CommHandle` whose
+    (idempotent) ``wait()`` yields exactly what the blocking
+    ``fetch_pages_bulk`` would have returned — same pages, same order,
+    same exchange count, same traffic accounting — regardless of when
+    the handle is waited relative to the in-flight transfers.
+    """
+
+    @staticmethod
+    def _register(world, ctx):
+        rank = ctx.mpi_rank
+        world.register_env(rank, PageEndpoint(rank))
+        world.register_block(("blk", rank), rank, 7 + rank, owner=True)
+        world.commit_registration()
+        return rank
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_empty_request_set(self, backend, size):
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            handle = world.fetch_pages_bulk_async(rank, [])
+            result = handle.wait()
+            world.barrier()
+            return (len(result.pages), result.exchanges, result.nbytes)
+
+        results = world.run_spmd(body)
+        assert [r.value for r in results] == [(0, 0, 0)] * size
+        assert world.traffic_summary()["bulk_fetches"] == 0
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_self_rank_request(self, backend, size):
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            handle = world.fetch_pages_bulk_async(
+                rank, [(("blk", rank), 0), (("blk", rank), 2)]
+            )
+            result = handle.wait()
+            world.barrier()
+            return (result.exchanges, [list(data) for _, _, data in result.pages])
+
+        results = world.run_spmd(body)
+        for rank, result in enumerate(results):
+            exchanges, pages = result.value
+            assert exchanges == 1  # one owner (the rank itself) -> one exchange
+            base = 1000.0 * rank + 10.0 * (7 + rank)
+            np.testing.assert_allclose(pages[0], np.arange(4) + base + 0)
+            np.testing.assert_allclose(pages[1], np.arange(4) + base + 2)
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_mixed_owner_batch_matches_blocking(self, backend, size):
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            requests = [(("blk", owner), 1) for owner in range(size)]
+            asynchronous = world.fetch_pages_bulk_async(rank, requests).wait()
+            blocking = world.fetch_pages_bulk(rank, requests)
+            world.barrier()  # keep every rank serving until all fetched
+            return (
+                asynchronous.exchanges == blocking.exchanges,
+                asynchronous.nbytes == blocking.nbytes,
+                [
+                    (ka, pa, list(da)) == (kb, pb, list(db))
+                    for (ka, pa, da), (kb, pb, db) in zip(
+                        asynchronous.pages, blocking.pages
+                    )
+                ],
+            )
+
+        results = world.run_spmd(body)
+        for result in results:
+            same_exchanges, same_bytes, same_pages = result.value
+            assert same_exchanges and same_bytes and all(same_pages)
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_wait_before_send_completes(self, backend, size):
+        """Waiting immediately after issue (no compute in between) is legal."""
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            owner = (rank + 1) % size
+            handle = world.fetch_pages_bulk_async(rank, [(("blk", owner), 3)])
+            result = handle.wait()  # the reply may not even have left yet
+            world.barrier()
+            return [list(data) for _, _, data in result.pages]
+
+        results = world.run_spmd(body)
+        for rank, result in enumerate(results):
+            owner = (rank + 1) % size
+            expected = np.arange(4) + 1000.0 * owner + 10.0 * (7 + owner) + 3
+            np.testing.assert_allclose(result.value[0], expected)
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_double_wait_is_idempotent(self, backend, size):
+        """A second wait() returns the same result and recounts nothing."""
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            requests = [(("blk", owner), 2) for owner in range(size)]
+            handle = world.fetch_pages_bulk_async(rank, requests)
+            first = handle.wait()
+            second = handle.wait()
+            world.barrier()
+            return (first is second, handle.done)
+
+        results = world.run_spmd(body)
+        assert [r.value for r in results] == [(True, True)] * size
+        stats = world.traffic_summary()
+        # Counted once per rank's batch despite the double wait.
+        assert stats["page_fetches"] == size * size
+        assert stats["bulk_pages"] == size * size
+
+    @pytest.mark.parametrize("backend,size", CASES)
+    def test_unresolvable_owner_raises_at_issue(self, backend, size):
+        from repro.runtime import NetworkError
+
+        world = make_world(backend, size)
+
+        def body(ctx):
+            rank = self._register(world, ctx)
+            try:
+                with pytest.raises(NetworkError, match="no owner registered"):
+                    world.fetch_pages_bulk_async(rank, [(("ghost", 99), 0)])
+            finally:
+                world.barrier()
+            return "ok"
+
+        results = world.run_spmd(body)
+        assert [r.value for r in results] == ["ok"] * size
+
+
+# ----------------------------------------------------------------------
 # error propagation
 # ----------------------------------------------------------------------
 
