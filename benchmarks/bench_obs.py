@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Observability overhead and trace-export check.
+
+Measures the cost of the span tracer + metrics layer on the 2-D Jacobi
+structured-grid sweep: the same 1-rank workload runs untraced and traced
+(best-of-``--repeats`` each) and the relative overhead is gated at
+``--max-overhead`` (default 5%: tracing must stay cheap enough to leave
+on in every debugging run).  An absolute slack of 10 ms absorbs timer
+noise on the tiny ``--smoke`` problems.
+
+With ``--trace PATH`` the benchmark additionally runs a traced 4-rank
+Jacobi on the process backend, saves the Chrome trace-event document
+(loadable in Perfetto / ``chrome://tracing``) to PATH and verifies it:
+
+* the document passes :func:`repro.obs.validate_chrome_trace`;
+* every rank contributes ``sweep.interior`` spans;
+* the overlapped halo flights appear as paired async ``b``/``e`` events.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke
+    PYTHONPATH=src python benchmarks/bench_obs.py --json BENCH_obs.json
+    PYTHONPATH=src python benchmarks/bench_obs.py --trace trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import (  # noqa: E402
+    Workload,
+    format_table,
+    mpi_aspects,
+    run_platform,
+    sgrid_workload,
+)
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+TRACE_RANKS = 4
+ABS_SLACK_S = 0.010  # absolute timer-noise allowance on the overhead gate
+
+
+def _best_elapsed(work: Workload, *, tracing: bool, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock of a 1-rank MMAT run of ``work``."""
+    best = None
+    for _ in range(max(repeats, 1)):
+        run = run_platform(
+            work, aspects=mpi_aspects(1), mmat=True, tracing=tracing
+        )
+        if best is None or run.elapsed < best:
+            best = run.elapsed
+    return best
+
+
+def measure_overhead(work: Workload, *, repeats: int) -> dict:
+    untraced_s = _best_elapsed(work, tracing=False, repeats=repeats)
+    traced_s = _best_elapsed(work, tracing=True, repeats=repeats)
+    overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
+    return {
+        "workload": work.name,
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "overhead_pct": overhead_pct,
+    }
+
+
+def produce_trace(work: Workload, path: str) -> dict:
+    """Traced 4-rank process-backend run; save + verify the Chrome trace."""
+    run = run_platform(
+        work,
+        aspects=mpi_aspects(TRACE_RANKS, backend="process"),
+        mmat=True,
+        tracing=True,
+    )
+    run.save_trace(path)
+    with open(path) as fh:
+        doc = json.load(fh)
+
+    problems = list(validate_chrome_trace(doc))
+    events = doc["traceEvents"]
+    interior_ranks = {
+        e["pid"] for e in events
+        if e["ph"] == "X" and e.get("name") == "sweep.interior"
+    }
+    if interior_ranks != set(range(TRACE_RANKS)):
+        problems.append(
+            f"interior sweep spans cover ranks {sorted(interior_ranks)}, "
+            f"expected all of 0..{TRACE_RANKS - 1}"
+        )
+    flights_b = sum(
+        1 for e in events if e["ph"] == "b" and e.get("name") == "halo.flight"
+    )
+    flights_e = sum(
+        1 for e in events if e["ph"] == "e" and e.get("name") == "halo.flight"
+    )
+    if flights_b == 0 or flights_b != flights_e:
+        problems.append(
+            f"halo flights unpaired: {flights_b} begins / {flights_e} ends"
+        )
+    return {
+        "path": path,
+        "trace_events": len(events),
+        "trace_ranks": len(interior_ranks),
+        "halo_flights": flights_b,
+        "problems": problems,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--loops", type=int, default=4, help="time steps per run")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="runs per configuration (best wall-clock kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small problem, 3 repeats (CI)")
+    parser.add_argument("--max-overhead", type=float, default=5.0,
+                        help="tracing overhead gate in percent (default 5)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="emit the rows as JSON (perf trajectory for future PRs)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="also write + verify a 4-rank process-backend trace")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        work = sgrid_workload(64, loops=args.loops, block_size=32).with_config(
+            page_elements=512
+        )
+        repeats = 3
+    else:
+        work = sgrid_workload(192, loops=args.loops, block_size=96).with_config(
+            page_elements=2048
+        )
+        repeats = args.repeats
+
+    row = measure_overhead(work, repeats=repeats)
+    rows = [row]
+    print(format_table(rows, title="Tracing overhead (1 rank, MMAT)"))
+
+    trace_info = None
+    if args.trace:
+        trace_work = work.with_config(
+            block_size=work.config["region"] // 2  # one block per rank, 2x2
+        )
+        trace_info = produce_trace(trace_work, args.trace)
+        print(
+            f"trace: {trace_info['trace_events']} events, "
+            f"{trace_info['trace_ranks']} ranks, "
+            f"{trace_info['halo_flights']} halo flights -> {args.trace}"
+        )
+
+    if args.json:
+        doc = {"mode": "smoke" if args.smoke else "full", "overhead": rows}
+        if trace_info is not None:
+            doc["trace"] = {
+                "trace_events": trace_info["trace_events"],
+                "trace_ranks": trace_info["trace_ranks"],
+                "halo_flights": trace_info["halo_flights"],
+            }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if trace_info is not None and trace_info["problems"]:
+        for problem in trace_info["problems"]:
+            print(f"FAILED: trace invalid: {problem}")
+        return 1
+    overhead_s = row["traced_s"] - row["untraced_s"]
+    limit_s = max(row["untraced_s"] * args.max_overhead / 100.0, ABS_SLACK_S)
+    if overhead_s > limit_s:
+        print(
+            f"FAILED: tracing overhead {row['overhead_pct']:.1f}% "
+            f"({overhead_s * 1e3:.1f} ms) exceeds the "
+            f"{args.max_overhead:.0f}% gate"
+        )
+        return 1
+    print(
+        f"OK: tracing overhead {row['overhead_pct']:.1f}% "
+        f"(gate {args.max_overhead:.0f}%, slack {ABS_SLACK_S * 1e3:.0f} ms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

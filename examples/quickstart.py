@@ -121,6 +121,14 @@ def main() -> None:
     print(f"MPI x2 (processes) overlap efficiency: "
           f"{procs.overlap_efficiency():.0%}")
 
+    # 6. Observability: the same run with tracing on records a span
+    #    timeline (Perfetto-exportable via run.save_trace(path)); the
+    #    phase report shows where the wall-clock went.
+    traced = Platform.preset("mpi", ranks=4, mmat=True, tracing=True).run(
+        JacobiSGrid, config=CONFIG)
+    print("\nWhere the traced MPI x4 run spent its time (top 3 phases):")
+    print(traced.phase_report(limit=3))
+
 
 if __name__ == "__main__":
     main()

@@ -12,6 +12,7 @@ Top-level layout (see DESIGN.md for the full inventory):
 * :mod:`repro.annotation` — Annotation Library and the Platform driver;
 * :mod:`repro.aspects` — Aspect Module Library (MPI / OpenMP layer modules);
 * :mod:`repro.dsl` — sample DSL processing systems (SGrid / USGrid / Particle);
+* :mod:`repro.obs` — observability (span tracing, metrics, Perfetto export);
 * :mod:`repro.apps` — end-user applications and handwritten baselines;
 * :mod:`repro.analysis` — memory / code-size / LoC measurement utilities;
 * :mod:`repro.bench` — benchmark harness shared by the ``benchmarks/`` suite.
@@ -27,6 +28,13 @@ from .aspects import (
     openmp_aspects,
 )
 from .memory import Env
+from .obs import (
+    MonitoringAspect,
+    global_metrics,
+    global_tracer,
+    phase_report,
+    validate_chrome_trace,
+)
 from .runtime import (
     CostModel,
     MachineSpec,
@@ -52,6 +60,11 @@ __all__ = [
     "hybrid_aspects",
     "mpi_aspects",
     "openmp_aspects",
+    "MonitoringAspect",
+    "global_tracer",
+    "global_metrics",
+    "phase_report",
+    "validate_chrome_trace",
     "CostModel",
     "MachineSpec",
     "OAKBRIDGE_CX_LIKE",

@@ -31,6 +31,15 @@ from ..aop.aspect import Aspect
 from ..aop.registry import TAG_ENTRY
 from ..aop.weaver import Weaver
 from ..memory.env import Env, EnvStats
+from ..obs import (
+    MonitoringAspect,
+    env_tracing_default,
+    global_metrics,
+    global_tracer,
+    phase_report,
+    save_chrome_trace,
+    widest_spans,
+)
 from ..runtime.machine import OAKBRIDGE_CX_LIKE, MachineSpec
 from ..runtime.tracing import TaskCounters, global_trace
 from .target import TargetApplication
@@ -66,10 +75,101 @@ class PlatformRun:
     #: MMAT / access-plan statistics of the master task's Env
     #: (``MMAT.stats()``: memo hit-rate, compiled plans, coverage).
     mmat_stats: dict = field(default_factory=dict)
+    #: Whether the run was traced (``Platform(tracing=True)`` / REPRO_TRACE).
+    tracing: bool = False
+    #: Span events captured during a traced run (epoch-aligned dicts,
+    #: see :meth:`repro.obs.Tracer.snapshot`); empty when not tracing.
+    span_events: List[dict] = field(default_factory=list)
+    #: Metrics snapshot of a traced run (``MetricsRegistry.snapshot()``
+    #: shape: histograms with p50/p95/p99 + counters, per rank and overall).
+    metric_data: dict = field(default_factory=dict)
 
     @property
     def result(self) -> Any:
         return self.app.result
+
+    # -- observability ---------------------------------------------------
+    def timeline(self) -> List[dict]:
+        """The traced span events, sorted by start time.
+
+        Each event is a dict with ``ph`` (``"X"`` complete span or
+        ``"b"``/``"e"`` async begin/end), ``name``, ``ts_ns``, ``rank``,
+        ``thread`` and (for complete spans) ``dur_ns`` and the
+        flamegraph ``path``.  Empty unless the run was traced.
+        """
+        return sorted(self.span_events, key=lambda e: e["ts_ns"])
+
+    def metrics(self) -> dict:
+        """Metric snapshot of the run: named histograms and counters.
+
+        Shape: ``{"histograms": {name: {"all": stats, "per_rank":
+        {rank: stats}}}, "counters": ...}`` where stats carry count,
+        sum, mean, min/max and p50/p95/p99.  Empty unless traced.
+        """
+        return self.metric_data
+
+    def save_trace(self, path: str) -> str:
+        """Write the run's Chrome trace-event JSON to ``path``.
+
+        The file loads in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``: one process track per rank, one thread
+        track per (rank, thread), async halo flights as arrows.
+        """
+        if not self.span_events:
+            raise ValueError(
+                "no span events recorded — run the platform with tracing "
+                "enabled (Platform(tracing=True) or REPRO_TRACE=1)"
+            )
+        return save_chrome_trace(
+            path,
+            self.span_events,
+            metadata={"backend": self.backend, "layers": dict(self.layers)},
+        )
+
+    def phase_report(self, *, limit: Optional[int] = None) -> str:
+        """Plain-text flamegraph-style phase table of the traced run."""
+        return phase_report(self.span_events, limit=limit)
+
+    def widest_spans(self, n: int = 5) -> Dict[int, List[dict]]:
+        """Top-``n`` longest spans per rank (duration descending)."""
+        return widest_spans(self.span_events, n)
+
+    def imbalance(self) -> dict:
+        """Per-rank load-imbalance summary: max/mean updates and halo wait.
+
+        Updates come from the task counters; wait time prefers the
+        traced ``halo.wait_ns`` histogram (per-rank observations) and
+        falls back to the ``overlap_wait_ns`` counters, so the figure is
+        available with or without tracing.  Ratios are ``max/mean``
+        (1.0 = perfectly balanced).
+        """
+        updates: Dict[int, float] = {}
+        wait: Dict[int, float] = {}
+        for (rank, _thread), counters in self.counters.items():
+            updates[rank] = updates.get(rank, 0) + counters.updates
+            wait[rank] = wait.get(rank, 0) + counters.overlap_wait_ns
+        wait_hist = (self.metric_data.get("histograms") or {}).get("halo.wait_ns")
+        if wait_hist:
+            wait = {rank: s["sum"] for rank, s in wait_hist["per_rank"].items()}
+
+        def stats(values: Dict[int, float]) -> tuple:
+            if not values:
+                return 0.0, 0.0, 1.0
+            peak = max(values.values())
+            mean = sum(values.values()) / len(values)
+            return peak, mean, (peak / mean if mean else 1.0)
+
+        updates_max, updates_mean, updates_ratio = stats(updates)
+        wait_max, wait_mean, wait_ratio = stats(wait)
+        return {
+            "ranks": len(updates),
+            "updates_max": updates_max,
+            "updates_mean": updates_mean,
+            "updates_imbalance": updates_ratio,
+            "wait_max_ns": wait_max,
+            "wait_mean_ns": wait_mean,
+            "wait_imbalance": wait_ratio,
+        }
 
     def summary(self) -> str:
         """One-line report of the run, for benchmark tables and logs.
@@ -108,7 +208,23 @@ class PlatformRun:
                 line += f" fallback={fallback}"
         line += self._comm_plan_summary()
         line += self._overlap_summary()
+        line += self._imbalance_summary()
         return line
+
+    def _imbalance_summary(self) -> str:
+        """The ``imb=…`` section of :meth:`summary` (per-rank skew).
+
+        Shows the max/mean ratio of element updates and halo wait time
+        across ranks (1.00x = perfectly balanced); omitted for
+        single-rank runs where the ratio is definitionally 1.
+        """
+        imbalance = self.imbalance()
+        if imbalance["ranks"] <= 1:
+            return ""
+        part = f" imb=upd:{imbalance['updates_imbalance']:.2f}x"
+        if imbalance["wait_mean_ns"]:
+            part += f",wait:{imbalance['wait_imbalance']:.2f}x"
+        return part
 
     def _comm_plan_summary(self) -> str:
         """The ``comm=…`` section of :meth:`summary` (aggregated halo exchange).
@@ -205,6 +321,7 @@ class PlatformBuilder:
         self._machine: Optional[MachineSpec] = None
         self._transcompile: Optional[bool] = None
         self._backend: Optional[str] = None
+        self._tracing: Optional[bool] = None
 
     # -- layers ---------------------------------------------------------
     def _factories(self) -> List[Any]:
@@ -279,6 +396,16 @@ class PlatformBuilder:
         self._backend = str(name)
         return self
 
+    def tracing(self, enabled: bool = True) -> "PlatformBuilder":
+        """Record a span timeline + metrics for every run of the platform.
+
+        Traced runs expose ``run.timeline()`` / ``run.metrics()`` /
+        ``run.save_trace(path)``; overhead on untraced paths is a
+        single flag check per instrumentation site.
+        """
+        self._tracing = bool(enabled)
+        return self
+
     # -- terminal -------------------------------------------------------
     def build(self) -> "Platform":
         """Materialise the configured :class:`Platform` (weaves Env).
@@ -295,6 +422,8 @@ class PlatformBuilder:
             kwargs["transcompile"] = self._transcompile
         if self._backend is not None:
             kwargs["backend"] = self._backend
+        if self._tracing is not None:
+            kwargs["tracing"] = self._tracing
         aspects = None
         if self._aspect_factories is not None:
             aspects = [factory() for factory in self._aspect_factories]
@@ -369,6 +498,11 @@ class Platform:
         (``"serial"`` | ``"threads"`` | ``"process"`` | a registered
         custom backend).  ``None`` lets each layer aspect decide (the
         default is the ``threads`` simulation).
+    tracing:
+        Record a span timeline and metrics for every run
+        (:mod:`repro.obs`); adds a :class:`~repro.obs.MonitoringAspect`
+        to transcompiled stacks.  ``None`` (default) defers to the
+        ``REPRO_TRACE`` environment variable; tracing is otherwise off.
     """
 
     def __init__(
@@ -380,9 +514,13 @@ class Platform:
         machine: MachineSpec = OAKBRIDGE_CX_LIKE,
         transcompile: Optional[bool] = None,
         backend: Optional[str] = None,
+        tracing: Optional[bool] = None,
     ) -> None:
         if transcompile is None:
             transcompile = aspects is not None
+        if tracing is None:
+            tracing = env_tracing_default()
+        self.tracing = bool(tracing)
         if backend is not None:
             from ..runtime.backends import BackendError, get_backend
 
@@ -393,6 +531,10 @@ class Platform:
         self.backend = backend
         self.transcompile = transcompile
         self.aspects: List[Aspect] = list(aspects or [])
+        if self.tracing and self.transcompile:
+            # Dogfood the AOP core: phase spans come from an ordinary
+            # aspect woven with the stack (lowest order ⇒ outermost).
+            self.aspects.append(MonitoringAspect())
         self.mmat_enabled = bool(mmat)
         self.env_pool_bytes = int(env_pool_bytes)
         self.machine = machine
@@ -433,6 +575,7 @@ class Platform:
         backend: Optional[str] = None,
         mpi: Optional[int] = None,
         omp: Optional[int] = None,
+        tracing: Optional[bool] = None,
     ) -> "Platform":
         """Build one of the paper's named configurations (Fig. 3).
 
@@ -466,6 +609,8 @@ class Platform:
             builder.machine(machine)
         if backend is not None:
             builder.backend(backend)
+        if tracing is not None:
+            builder.tracing(tracing)
         configure(builder, int(ranks), int(threads))
         return builder.build()
 
@@ -511,36 +656,52 @@ class Platform:
         self, app_cls: Type[TargetApplication], *, config: Optional[dict] = None
     ) -> PlatformRun:
         """Weave and execute an application; return the run record."""
-        woven_cls = self.build(app_cls)
         trace = global_trace()
         trace.reset()
         self.context.clear()
 
-        for aspect in self.aspects:
-            aspect.on_attach(self)
+        tracer = global_tracer()
+        was_tracing = tracer.enabled
+        if self.tracing:
+            tracer.reset()
+            global_metrics().reset()
+            tracer.set_enabled(True)
 
-        def execute() -> TargetApplication:
-            """The program entry point — AspectType I's outermost join point."""
-            app = woven_cls(config)
-            app.bind_platform(self)
-            app.initialize()
-            app.processing()
-            app.finalize()
-            return app
-
-        if self.transcompile:
-            assert self.weaver is not None
-            entry = self.weaver.weave_function(execute, tags=(TAG_ENTRY,))
-        else:
-            entry = execute
-
-        start = time.perf_counter()
         try:
-            app = entry()
-        finally:
+            # Direct hook: the weave itself has no join point to advise
+            # (it *creates* them), so the driver times it explicitly.
+            with tracer.span("platform.weave"):
+                woven_cls = self.build(app_cls)
+
             for aspect in self.aspects:
-                aspect.on_detach(self)
-        elapsed = time.perf_counter() - start
+                aspect.on_attach(self)
+
+            def execute() -> TargetApplication:
+                """The program entry point — AspectType I's outermost join point."""
+                app = woven_cls(config)
+                app.bind_platform(self)
+                app.initialize()
+                app.processing()
+                app.finalize()
+                return app
+
+            if self.transcompile:
+                assert self.weaver is not None
+                entry = self.weaver.weave_function(execute, tags=(TAG_ENTRY,))
+            else:
+                entry = execute
+
+            start = time.perf_counter()
+            try:
+                with tracer.span("platform.run"):
+                    app = entry()
+            finally:
+                for aspect in self.aspects:
+                    aspect.on_detach(self)
+            elapsed = time.perf_counter() - start
+        finally:
+            if self.tracing:
+                tracer.set_enabled(was_tracing)
 
         env_stats = app.env.stats if app.env is not None else None
         memory = app.env.memory_report() if app.env is not None else {}
@@ -564,4 +725,7 @@ class Platform:
             transcompiled=self.transcompile,
             backend=backend_name,
             mmat_stats=mmat_stats,
+            tracing=self.tracing,
+            span_events=tracer.snapshot() if self.tracing else [],
+            metric_data=global_metrics().snapshot() if self.tracing else {},
         )

@@ -53,6 +53,8 @@ from typing import Any, Dict, List, Set, Tuple
 from ..aop.advice import after_returning, around, before
 from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.page import PageKey
+from ..obs.metrics import record as metric_record
+from ..obs.spans import global_tracer
 from ..runtime.backends import DEFAULT_BACKEND, get_backend
 from ..runtime.backends.base import CommHandle, ExecutionWorld
 from ..runtime.errors import NetworkError, PageFetchError
@@ -110,13 +112,15 @@ class PendingHalo:
     and completion is computation the exchange latency hid behind.
     """
 
-    __slots__ = ("plan", "handle", "trace", "issued_ns")
+    __slots__ = ("plan", "handle", "trace", "issued_ns", "span_token")
 
-    def __init__(self, plan: CommPlan, handle: CommHandle, trace) -> None:
+    def __init__(self, plan: CommPlan, handle: CommHandle, trace, span_token=None) -> None:
         self.plan = plan
         self.handle = handle
         self.trace = trace
         self.issued_ns = time.perf_counter_ns()
+        #: Async span token of the issue→complete flight (None untraced).
+        self.span_token = span_token
 
     def complete(self, env, *, drained: bool = False) -> None:
         """Wait for the exchange, install its pages, account the traffic.
@@ -127,9 +131,11 @@ class PendingHalo:
         report distinguishes hidden from merely deferred latency.
         """
         trace = self.trace
+        tracer = global_tracer()
         wait_start = time.perf_counter_ns()
         try:
-            result = self.handle.wait()
+            with tracer.span("halo.wait", drained=drained):
+                result = self.handle.wait()
         except PageFetchError:
             raise
         except NetworkError as exc:
@@ -138,6 +144,7 @@ class PendingHalo:
                 f"failed: {exc}"
             ) from exc
         completed = time.perf_counter_ns()
+        tracer.async_end(self.span_token, drained=drained)
         plan = self.plan
         env.page_install_many(
             (plan.key_for(lk, page), data) for lk, page, data in result.pages
@@ -159,6 +166,9 @@ class PendingHalo:
         else:
             trace.overlap_wait_ns += completed - wait_start
             trace.overlap_flight_ns += completed - self.issued_ns
+            metric_record("halo.wait_ns", completed - wait_start)
+            metric_record("halo.flight_ns", completed - self.issued_ns)
+        metric_record("exchange.pages", len(result.pages))
 
 
 class DistributedMemoryAspect(LayerAspect):
@@ -304,8 +314,10 @@ class DistributedMemoryAspect(LayerAspect):
         # outcome: its pages count as delivered, not missing.
         env.complete_pending_halo(drained=True)
 
+        tracer = global_tracer()
         local_ok = not env.missing_pages
-        global_ok = world.allreduce_and(local_ok)
+        with tracer.span("step.allreduce"):
+            global_ok = world.allreduce_and(local_ok)
         trace.collectives += 1
 
         if not global_ok:
@@ -320,14 +332,17 @@ class DistributedMemoryAspect(LayerAspect):
                 needed = set(env.last_failed_pages)
             with self._lock:
                 self._dry_run.setdefault(rank, set()).update(needed)
-            self._fetch_pages(env, rank, needed, trace)
-            world.barrier()
+            with tracer.span("halo.repair", pages=len(needed)):
+                self._fetch_pages(env, rank, needed, trace)
+            with tracer.span("step.barrier"):
+                world.barrier()
             trace.collectives += 1
             return False
 
         # Every rank can finish the step: swap buffers (unless warm-up) …
         result = jp.proceed()
-        world.barrier()
+        with tracer.span("step.barrier"):
+            world.barrier()
         trace.collectives += 1
         # … then prefetch, with the owners' new data, every page this rank
         # is known to need for the next step: the Dry-run record (pages
@@ -346,9 +361,11 @@ class DistributedMemoryAspect(LayerAspect):
             if self.overlap:
                 self._exchange_planned_async(env, rank, prefetch, trace)
             else:
-                self._exchange_planned(env, rank, prefetch, trace)
+                with tracer.span("halo.exchange", pages=len(prefetch)):
+                    self._exchange_planned(env, rank, prefetch, trace)
         else:
-            self._fetch_pages(env, rank, prefetch, trace)
+            with tracer.span("halo.perpage", pages=len(prefetch)):
+                self._fetch_pages(env, rank, prefetch, trace)
         return result
 
     # ------------------------------------------------------------------
@@ -373,18 +390,19 @@ class DistributedMemoryAspect(LayerAspect):
             plan = self._comm_plans.get(rank)
         if plan is not None and plan.keys == frozen:
             return plan
-        requests: List[Tuple[PageKey, Any, int]] = []
-        for key in sorted(keys):
-            block = env.block(key.block_id)
-            logical_key = getattr(block, "logical_key", None)
-            if logical_key is None:
-                raise PageFetchError(
-                    f"rank {rank} cannot plan a fetch for page {key}: block "
-                    f"{block.name!r} has no logical key, so its owning rank "
-                    "is unresolvable"
-                )
-            requests.append((key, logical_key, key.page_index))
-        plan = CommPlan(keys=frozen, requests=requests)
+        with global_tracer().span("plan.comm_compile", pages=len(keys)):
+            requests: List[Tuple[PageKey, Any, int]] = []
+            for key in sorted(keys):
+                block = env.block(key.block_id)
+                logical_key = getattr(block, "logical_key", None)
+                if logical_key is None:
+                    raise PageFetchError(
+                        f"rank {rank} cannot plan a fetch for page {key}: block "
+                        f"{block.name!r} has no logical key, so its owning rank "
+                        "is unresolvable"
+                    )
+                requests.append((key, logical_key, key.page_index))
+            plan = CommPlan(keys=frozen, requests=requests)
         with self._lock:
             self._comm_plans[rank] = plan
         trace.comm_plan_compiles += 1
@@ -432,6 +450,10 @@ class DistributedMemoryAspect(LayerAspect):
         world = self.world
         assert world is not None
         plan = self._comm_plan_for(env, rank, keys, trace)
+        # The flight span opens at issue time and is closed by whichever
+        # reader completes the PendingHalo — Perfetto draws the b/e pair
+        # as an arrow across everything computed in between.
+        token = global_tracer().async_begin("halo.flight", pages=len(plan.requests))
         try:
             handle = world.fetch_pages_bulk_async(
                 rank, [(lk, page) for _, lk, page in plan.requests]
@@ -444,7 +466,7 @@ class DistributedMemoryAspect(LayerAspect):
                 f"{len(plan.requests)} pages: {exc}"
             ) from exc
         trace.overlap_issues += 1
-        env.set_pending_halo(PendingHalo(plan, handle, trace))
+        env.set_pending_halo(PendingHalo(plan, handle, trace, span_token=token))
 
     # ------------------------------------------------------------------
     def _fetch_pages(self, env, rank: int, keys: Set[PageKey], trace) -> None:

@@ -212,11 +212,14 @@ def run_platform(
     pool_bytes: int = 32 * 1024 * 1024,
     machine: MachineSpec = OAKBRIDGE_CX_LIKE,
     backend: Optional[str] = None,
+    tracing: Optional[bool] = None,
 ) -> PlatformRun:
     """Run a workload on the platform under one configuration.
 
     ``backend`` selects the execution backend of the distributed-memory
-    layer (None keeps each aspect's own choice / the default).
+    layer (None keeps each aspect's own choice / the default);
+    ``tracing`` turns the span tracer on/off for the run (None keeps the
+    ``REPRO_TRACE`` environment default).
     """
     builder = Platform.builder().mmat(mmat).pool_bytes(pool_bytes).machine(machine)
     if aspects is not None:
@@ -225,6 +228,8 @@ def run_platform(
         builder.transcompile(transcompile)
     if backend is not None:
         builder.backend(backend)
+    if tracing is not None:
+        builder.tracing(tracing)
     return builder.run(work.app_cls, config=dict(work.config))
 
 

@@ -31,6 +31,7 @@ from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.env import Env
 from ..memory.mmat import compile_address_plan, compile_offsets_plan
 from ..memory.zorder import morton_encode
+from ..obs.spans import global_tracer
 from ..runtime.task import current_task
 from ..runtime.tracing import global_trace
 
@@ -156,7 +157,8 @@ class BlockKernel:
         key = (block.block_id, "offsets", offsets)
         plan = mmat.plan_lookup(key)
         if plan is None:
-            plan = compile_offsets_plan(env, block, offsets)
+            with global_tracer().span("plan.compile", sites=block.element_count):
+                plan = compile_offsets_plan(env, block, offsets)
             mmat.plan_store(key, plan)
             self._trace.plan_compiles += 1
         return plan
@@ -249,11 +251,13 @@ class BlockKernel:
         offsets = tuple(tuple(int(c) for c in off) for off in offsets)
         env = self.env
         block = self.block
+        tracer = global_tracer()
         plan = self._offsets_plan(offsets) if env.mmat.enabled else None
         if plan is None or not plan.has_halo or not env.has_pending_halo():
             # No overlap opportunity: the plain gather path (which itself
             # completes a pending exchange before its boundary segments).
-            self.scatter(fn(*self.gather(offsets)))
+            with tracer.span("sweep"):
+                self.scatter(fn(*self.gather(offsets)))
             return
 
         n_off = len(offsets)
@@ -263,7 +267,6 @@ class BlockKernel:
         if plan.const_dst is not None:
             out[plan.const_dst] = plan.const_vals
         interior_segs, boundary_segs = plan.split()
-        missing = plan.gather_segments(env, interior_segs, out)
 
         # Output elements whose stencil reaches halo data; everything
         # else is computable from the interior gather alone.
@@ -281,10 +284,13 @@ class BlockKernel:
                 args = [per_offset[oi, elems] for oi in range(n_off)]
                 result[elems] = np.asarray(fn(*args)).reshape(elems.size, comps)
 
-        apply(interior_elems)            # … while the halo is in flight
+        with tracer.span("sweep.interior", sites=int(interior_elems.size)):
+            missing = plan.gather_segments(env, interior_segs, out)
+            apply(interior_elems)        # … while the halo is in flight
         env.complete_pending_halo()      # wait + install the halo pages
-        missing += plan.gather_segments(env, boundary_segs, out)
-        apply(boundary_elems)            # finish the halo-dependent rim
+        with tracer.span("sweep.boundary", sites=int(boundary_elems.size)):
+            missing += plan.gather_segments(env, boundary_segs, out)
+            apply(boundary_elems)        # finish the halo-dependent rim
 
         plan.account(env, missing)
         env.mmat.note_execution(plan)

@@ -76,6 +76,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...obs.metrics import global_metrics
+from ...obs.spans import global_tracer
 from ..errors import CollectiveError, NetworkError, TaskError
 from ..network import NetworkStats, _payload_nbytes
 from ..simmpi import BlockDirectory
@@ -221,6 +223,13 @@ class ProcessTransport:
     def _serve_page(self, peer: int, msg: tuple) -> None:
         """Answer a peer's page request from the local Env snapshot."""
         _, req_id, block_id, page_index = msg
+        # The receiver thread has no task context: serve spans go on the
+        # rank's explicit "recv" track (Perfetto shows them as their own
+        # thread lane under the rank's process).
+        with global_tracer().span_at("recv.serve", self.rank, "recv", peer=peer):
+            self._serve_page_inner(peer, req_id, block_id, page_index)
+
+    def _serve_page_inner(self, peer: int, req_id, block_id, page_index) -> None:
         try:
             if self.endpoint is None:
                 raise NetworkError(f"rank {self.rank} has no registered Env")
@@ -238,6 +247,12 @@ class ProcessTransport:
     def _serve_page_batch(self, peer: int, msg: tuple) -> None:
         """Answer a batched page request with one packed payload + manifest."""
         _, req_id, items = msg
+        with global_tracer().span_at(
+            "recv.serve_batch", self.rank, "recv", peer=peer, pages=len(items)
+        ):
+            self._serve_page_batch_inner(peer, req_id, items)
+
+    def _serve_page_batch_inner(self, peer: int, req_id, items) -> None:
         try:
             if self.endpoint is None:
                 raise NetworkError(f"rank {self.rank} has no registered Env")
@@ -573,7 +588,13 @@ class ProcessWorld(ExecutionWorld):
         )
         # The child's fork-copied trace may contain pre-fork counters;
         # reset so only this rank's tasks are shipped back to the parent.
+        # Likewise for the span/metric buffers: the fork copied rank 0's
+        # pre-fork spans (weave, warm-up) and shipping them back would
+        # duplicate them in the merged timeline.
         global_trace().reset()
+        tracer = global_tracer()
+        tracer.reset()
+        global_metrics().reset()
         result = RankResult(rank=rank)
         self._run_rank_inline(result, body, omp_threads, mpi_size=self.size)
         payload = {
@@ -587,6 +608,11 @@ class ProcessWorld(ExecutionWorld):
             ),
             "counters": global_trace().all_counters(),
             "stats": transport.stats,
+            # Rank-local observability buffers ride the same result
+            # channel; snapshot timestamps are wall-clock anchored, so
+            # the parent's merge lines ranks up on one timeline.
+            "spans": tracer.snapshot() if tracer.enabled else [],
+            "metrics": global_metrics().export_state() if tracer.enabled else {},
         }
         try:
             result_conn.send(payload)
@@ -621,6 +647,10 @@ class ProcessWorld(ExecutionWorld):
             results[rank].error = payload["error"]
             trace.merge_counters(payload["counters"])
             self.stats.merge(payload["stats"])
+            global_tracer().merge_events(payload.get("spans", ()))
+            metrics_state = payload.get("metrics")
+            if metrics_state:
+                global_metrics().merge_state(metrics_state)
 
     # -- Env / block registration --------------------------------------
     def register_env(self, rank: int, env: Any) -> None:

@@ -324,8 +324,15 @@ class AsyncBatchFetch:
         self._error: Optional[BaseException] = None
 
         def fetch() -> None:
+            # Background-thread serve: recorded on the owner's "recv"
+            # track, mirroring the process backend's receiver thread.
+            from ..obs.spans import global_tracer  # local import to avoid a cycle
+
             try:
-                self._datas = network.fetch_pages(requester, owner, self.pages)
+                with global_tracer().span_at(
+                    "recv.serve_batch", owner, "recv", pages=len(self.pages)
+                ):
+                    self._datas = network.fetch_pages(requester, owner, self.pages)
             except BaseException as exc:  # noqa: BLE001 - re-raised in join()
                 self._error = exc
 

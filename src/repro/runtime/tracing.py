@@ -124,10 +124,17 @@ class TraceRecorder:
     def merge_counters(self, counters: Dict[Tuple[int, int], TaskCounters]) -> None:
         """Fold another recorder's counters in (process-backend rank results).
 
-        Numeric fields are added; descriptive fields (access pattern,
-        bytes per update) take the incoming value, as they are set by
-        the DSL layer that actually ran the task.
+        Numeric fields are added.  Descriptive fields (access pattern,
+        bytes per update) are *not* additive: they are set once by the
+        DSL layer that ran the task, so the merge keeps the first value
+        that differs from the dataclass default instead of letting
+        whichever rank merges last clobber an already-recorded profile
+        with its default.
         """
+        descriptive = {
+            "access_pattern": TaskCounters.access_pattern,
+            "bytes_per_update": TaskCounters.bytes_per_update,
+        }
         with self._lock:
             for key, incoming in counters.items():
                 mine = self._counters.get(key)
@@ -135,8 +142,9 @@ class TraceRecorder:
                     self._counters[key] = incoming
                     continue
                 for attr, value in incoming.as_dict().items():
-                    if attr in ("access_pattern", "bytes_per_update"):
-                        setattr(mine, attr, value)
+                    if attr in descriptive:
+                        if getattr(mine, attr) == descriptive[attr]:
+                            setattr(mine, attr, value)
                     else:
                         setattr(mine, attr, getattr(mine, attr) + value)
 
