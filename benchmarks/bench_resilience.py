@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Checkpoint overhead and rank-recovery cost of the resilience layer.
+
+Runs the 2-D Jacobi structured-grid sweep on a 4-rank distributed world
+three times per backend:
+
+* **baseline** — resilience off (the PR-6 platform);
+* **checkpointed** — ``ResiliencePolicy`` on: every epoch each rank
+  snapshots its owned Env pages into the checkpoint store (in-memory
+  for the threads backend, spooled to disk for process);
+* **chaos** — same policy plus a seeded ``FaultPlan`` that kills rank 1
+  mid-run; the world must detect the death, re-partition onto the
+  survivors, resume from the last complete checkpoint and finish.
+
+Gates:
+
+* checkpointed and chaos results must be bit-identical to baseline on
+  the covered subdomain (NaN padding marks rank-locality);
+* the chaos run must report exactly one recovery;
+* checkpoint overhead — ``checkpointed_s / baseline_s - 1`` — must stay
+  under ``--max-overhead`` (default 10%) on every row.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke
+    PYTHONPATH=src python benchmarks/bench_resilience.py --json BENCH_resilience.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.annotation import Platform  # noqa: E402
+from repro.apps import JacobiSGrid  # noqa: E402
+from repro.bench.harness import format_table  # noqa: E402
+from repro.resilience import FaultPlan, ResiliencePolicy  # noqa: E402
+
+RANKS = 4
+OVERHEAD_GATE = 0.10  # acceptance: checkpoints cost <10% wall-clock
+
+
+def _init(x, y):
+    return 0.05 * x - 0.04 * y + 1.25
+
+
+def _build(backend, *, policy=None, timeout=30.0):
+    builder = Platform.builder().mpi(RANKS).mmat().backend(backend)
+    if policy is not None:
+        builder = builder.resilience(policy).comm_timeout(timeout)
+    return builder.build()
+
+
+def _timed_run(config, backend, *, policy_factory=None, repeats=1):
+    """Best-of-``repeats`` run; returns (seconds, run, checkpoint counters)."""
+    best_s = None
+    best_run = None
+    ckpts = pages = 0
+    for _ in range(max(repeats, 1)):
+        policy = policy_factory() if policy_factory is not None else None
+        platform = _build(backend, policy=policy)
+        run = platform.run(JacobiSGrid, config=dict(config))
+        if best_s is None or run.elapsed < best_s:
+            best_s = run.elapsed
+            best_run = run
+            ckpts = sum(c.checkpoints for c in run.counters.values())
+            pages = sum(c.checkpoint_pages for c in run.counters.values())
+    return best_s, best_run, ckpts, pages
+
+
+def _equivalent(a_run, b_run) -> bool:
+    """Bit-identical where both runs cover the domain (NaN = not local)."""
+    a = np.asarray(a_run.result, dtype=np.float64)
+    b = np.asarray(b_run.result, dtype=np.float64)
+    if a.shape != b.shape:
+        return False
+    mask = ~(np.isnan(a) | np.isnan(b))
+    return bool(mask.any()) and bool(np.array_equal(a[mask], b[mask]))
+
+
+def measure(config, backends, *, repeats):
+    rows = []
+    for backend in backends:
+        base_s, base_run, _, _ = _timed_run(config, backend, repeats=repeats)
+        ckpt_s, ckpt_run, ckpts, pages = _timed_run(
+            config, backend, policy_factory=ResiliencePolicy, repeats=repeats
+        )
+        chaos_s, chaos_run, _, _ = _timed_run(
+            config,
+            backend,
+            policy_factory=lambda: ResiliencePolicy(
+                fault_plan=FaultPlan().kill(1, phase="refresh", epoch=2)
+            ),
+            repeats=1,  # a kill-and-recover run is not a steady-state timing
+        )
+        rows.append(
+            {
+                "workload": f"SGrid {config['region']} ({backend})",
+                "backend": backend,
+                "ranks": RANKS,
+                "baseline_s": base_s,
+                "checkpointed_s": ckpt_s,
+                "overhead": ckpt_s / base_s - 1.0,
+                "checkpoints": ckpts,
+                "checkpoint_pages": pages,
+                "chaos_s": chaos_s,
+                "recoveries": chaos_run.restarts,
+                "equivalent": _equivalent(base_run, ckpt_run),
+                "chaos_equivalent": _equivalent(base_run, chaos_run),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--loops", type=int, default=6, help="time steps per run")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per configuration (best wall-clock kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small problem, fewer repeats (CI)")
+    parser.add_argument("--max-overhead", type=float, default=OVERHEAD_GATE,
+                        help=f"checkpoint overhead gate (default {OVERHEAD_GATE:.0%})")
+    parser.add_argument("--json", metavar="PATH",
+                        help="emit the rows as JSON (perf trajectory for future PRs)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        config = dict(region=96, block_size=24, page_elements=576,
+                      loops=args.loops, init=_init)
+        repeats = 2
+        backends = ("threads", "process")
+    else:
+        config = dict(region=256, block_size=64, page_elements=4096,
+                      loops=max(args.loops, 8), init=_init)
+        repeats = args.repeats
+        backends = ("threads", "process")
+
+    rows = measure(config, backends, repeats=repeats)
+    print(format_table(
+        rows, title=f"Checkpoint overhead and rank recovery ({RANKS} ranks)"
+    ))
+
+    if args.json:
+        doc = {"mode": "smoke" if args.smoke else "full", "ranks": RANKS,
+               "resilience": rows}
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    failed = False
+    for row in rows:
+        if not row["equivalent"]:
+            print(f"FAILED: {row['workload']}: checkpointed result diverges")
+            failed = True
+        if not row["chaos_equivalent"]:
+            print(f"FAILED: {row['workload']}: recovered result diverges")
+            failed = True
+        if row["recoveries"] != 1:
+            print(f"FAILED: {row['workload']}: expected 1 recovery, "
+                  f"saw {row['recoveries']}")
+            failed = True
+        if row["checkpoints"] == 0:
+            print(f"FAILED: {row['workload']}: no checkpoints were taken")
+            failed = True
+        if row["overhead"] > args.max_overhead:
+            print(f"FAILED: {row['workload']}: checkpoint overhead "
+                  f"{row['overhead']:.1%} above the {args.max_overhead:.0%} gate")
+            failed = True
+    if failed:
+        return 1
+    worst = max(rows, key=lambda r: r["overhead"])
+    print(
+        f"OK: worst checkpoint overhead {worst['overhead']:.1%} "
+        f"({worst['workload']}, gate {args.max_overhead:.0%}); "
+        f"every chaos run recovered bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,10 +83,25 @@ class PlatformRun:
     #: Metrics snapshot of a traced run (``MetricsRegistry.snapshot()``
     #: shape: histograms with p50/p95/p99 + counters, per rank and overall).
     metric_data: dict = field(default_factory=dict)
+    #: Recovery events of a resilient run: one entry per diagnosed rank
+    #: failure (:class:`repro.resilience.RecoveryEvent`); empty when no
+    #: resilience policy was configured or nothing failed.
+    recovery_events: List[Any] = field(default_factory=list)
 
     @property
     def result(self) -> Any:
         return self.app.result
+
+    @property
+    def restarts(self) -> int:
+        """How many times the world was rebuilt after a diagnosed failure."""
+        return len(self.recovery_events)
+
+    def recovery_report(self) -> str:
+        """Human-readable recovery summary (one line per diagnosed failure)."""
+        if not self.recovery_events:
+            return "no failures recovered"
+        return "\n".join(event.summary() for event in self.recovery_events)
 
     # -- observability ---------------------------------------------------
     def timeline(self) -> List[dict]:
@@ -322,6 +337,8 @@ class PlatformBuilder:
         self._transcompile: Optional[bool] = None
         self._backend: Optional[str] = None
         self._tracing: Optional[bool] = None
+        self._resilience: Any = None
+        self._comm_timeout: Optional[float] = None
 
     # -- layers ---------------------------------------------------------
     def _factories(self) -> List[Any]:
@@ -406,6 +423,30 @@ class PlatformBuilder:
         self._tracing = bool(enabled)
         return self
 
+    def resilience(self, policy: Any = True) -> "PlatformBuilder":
+        """Make runs elastic under rank failure (checkpoints + recovery).
+
+        ``policy`` is a :class:`repro.resilience.ResiliencePolicy` (or
+        ``True`` for the defaults: checkpoint every epoch, up to two
+        restarts, auto-selected store).  Weaves a
+        :class:`~repro.resilience.CheckpointAspect` and delegates the
+        distributed world lifecycle to a recovery manager that shrinks
+        the world and resumes from the last checkpoint epoch after a
+        diagnosed rank death.
+        """
+        self._resilience = policy
+        return self
+
+    def comm_timeout(self, seconds: float) -> "PlatformBuilder":
+        """Communication timeout of the distributed layer's world.
+
+        Forwarded to ``create_world(timeout=)`` for every backend;
+        bounds how long collectives and page waits may block — and
+        therefore how long a dead rank can go undetected.
+        """
+        self._comm_timeout = float(seconds)
+        return self
+
     # -- terminal -------------------------------------------------------
     def build(self) -> "Platform":
         """Materialise the configured :class:`Platform` (weaves Env).
@@ -424,6 +465,10 @@ class PlatformBuilder:
             kwargs["backend"] = self._backend
         if self._tracing is not None:
             kwargs["tracing"] = self._tracing
+        if self._resilience is not None:
+            kwargs["resilience"] = self._resilience
+        if self._comm_timeout is not None:
+            kwargs["comm_timeout"] = self._comm_timeout
         aspects = None
         if self._aspect_factories is not None:
             aspects = [factory() for factory in self._aspect_factories]
@@ -515,6 +560,8 @@ class Platform:
         transcompile: Optional[bool] = None,
         backend: Optional[str] = None,
         tracing: Optional[bool] = None,
+        resilience: Any = None,
+        comm_timeout: Optional[float] = None,
     ) -> None:
         if transcompile is None:
             transcompile = aspects is not None
@@ -530,11 +577,27 @@ class Platform:
                 raise ValueError(str(exc)) from None
         self.backend = backend
         self.transcompile = transcompile
+        #: Communication timeout (seconds) forwarded to the distributed
+        #: layer's ``create_world(timeout=)``; None keeps the 60s default.
+        self.comm_timeout = None if comm_timeout is None else float(comm_timeout)
         self.aspects: List[Aspect] = list(aspects or [])
         if self.tracing and self.transcompile:
             # Dogfood the AOP core: phase spans come from an ordinary
             # aspect woven with the stack (lowest order ⇒ outermost).
             self.aspects.append(MonitoringAspect())
+        #: Recovery manager of a resilient platform (None otherwise).
+        self.resilience = None
+        if resilience is not None and resilience is not False:
+            if not self.transcompile:
+                raise ValueError(
+                    "resilience requires a transcompiled platform "
+                    "(checkpoints are woven as an aspect module)"
+                )
+            from ..resilience import CheckpointAspect, RecoveryManager, ResiliencePolicy
+
+            policy = ResiliencePolicy() if resilience is True else resilience
+            self.resilience = RecoveryManager(policy)
+            self.aspects.append(CheckpointAspect(self.resilience))
         self.mmat_enabled = bool(mmat)
         self.env_pool_bytes = int(env_pool_bytes)
         self.machine = machine
@@ -728,4 +791,5 @@ class Platform:
             tracing=self.tracing,
             span_events=tracer.snapshot() if self.tracing else [],
             metric_data=global_metrics().snapshot() if self.tracing else {},
+            recovery_events=list(self.resilience.events) if self.resilience else [],
         )

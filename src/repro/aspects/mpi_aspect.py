@@ -191,12 +191,14 @@ class DistributedMemoryAspect(LayerAspect):
         self,
         processes: int = 1,
         *,
-        timeout: float = 60.0,
+        timeout: float | None = None,
         backend: str | None = None,
         comm_plans: bool = True,
         overlap: bool = True,
     ) -> None:
         super().__init__(parallelism=processes)
+        #: Communication timeout override; ``None`` defers to the
+        #: Platform's ``comm_timeout`` and finally to 60 seconds.
         self.timeout = timeout
         self.backend_name = backend
         #: Whether to compile CommPlans (aggregated per-neighbor halo
@@ -227,6 +229,13 @@ class DistributedMemoryAspect(LayerAspect):
         platform_backend = getattr(self.platform, "backend", None)
         return platform_backend or DEFAULT_BACKEND
 
+    def resolve_timeout(self) -> float:
+        """The communication timeout: own setting, Platform's ``comm_timeout``, 60s."""
+        if self.timeout is not None:
+            return self.timeout
+        platform_timeout = getattr(self.platform, "comm_timeout", None)
+        return float(platform_timeout) if platform_timeout is not None else 60.0
+
     # ------------------------------------------------------------------
     # AspectType I — control of the runtime and tasks
     # ------------------------------------------------------------------
@@ -235,14 +244,29 @@ class DistributedMemoryAspect(LayerAspect):
         """Initialise the distributed runtime, run the program per rank, finalise."""
         platform = self.platform
         backend = get_backend(self.resolve_backend_name())
-        world = backend.create_world(self.parallelism, timeout=self.timeout)
+        omp_threads = platform.parallelism_of("omp") if platform is not None else 1
+        entry = jp.continuation()
+
+        # With a resilience policy configured, the recovery manager owns
+        # the world lifecycle: it re-creates (shrunken) worlds after
+        # diagnosed rank deaths and re-runs the program from the last
+        # complete checkpoint epoch.
+        manager = getattr(platform, "resilience", None) if platform is not None else None
+        if manager is not None:
+            return manager.execute(
+                backend,
+                self,
+                entry,
+                omp_threads=omp_threads,
+                timeout=self.resolve_timeout(),
+            )
+
+        world = backend.create_world(self.parallelism, timeout=self.resolve_timeout())
         self.world = world
         self._dry_run = {rank: set() for rank in range(world.size)}
         self._comm_plans = {}
         if platform is not None:
             platform.context["mpi_world"] = world
-        omp_threads = platform.parallelism_of("omp") if platform is not None else 1
-        entry = jp.continuation()
 
         try:
             results = world.run_spmd(lambda _ctx: entry(), omp_threads=omp_threads)

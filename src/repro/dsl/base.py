@@ -32,7 +32,7 @@ from ..memory.env import Env
 from ..memory.mmat import compile_address_plan, compile_offsets_plan
 from ..memory.zorder import morton_encode
 from ..obs.spans import global_tracer
-from ..runtime.task import current_task
+from ..runtime.task import SERIAL_TASK, current_task
 from ..runtime.tracing import global_trace
 
 __all__ = ["DslTarget", "BlockKernel", "BlockSpec"]
@@ -390,6 +390,13 @@ class DslTarget(TargetApplication):
         partition).  Returns ``(spec, task_id)`` pairs in Z-order.
         """
         total = max(self.total_tasks, 1)
+        # An elastically shrunk world (rank recovery) has fewer live
+        # ranks than the platform was built with; the task context
+        # carries the actual world size, so size the deal by it — a
+        # stale total would assign Blocks to ranks that no longer exist.
+        task = current_task()
+        if task is not SERIAL_TASK:
+            total = max(task.mpi_size * self.omp_threads(), 1)
         keys = [spec.zorder() for spec in specs]
         # 1-D DSLs (and pre-sorted spec lists in general) are already in
         # Z-order; skip the re-sort that shows up in warm-up profiles.
@@ -397,10 +404,26 @@ class DslTarget(TargetApplication):
             ordered = list(specs)
         else:
             ordered = [spec for _, spec in sorted(zip(keys, specs), key=lambda kv: kv[0])]
+        # After a rank failure the recovery manager re-partitions the dead
+        # rank's blocks onto the survivors; the resulting logical-key →
+        # rank map overrides the default contiguous deal.
+        override = None
+        if self.platform is not None:
+            override = self.platform.context.get("resilience_ownership")
         per_task = math.ceil(len(ordered) / total)
+        omp = self.omp_threads()
+        per_rank_count: dict = {}
         assignment: List[Tuple[BlockSpec, int]] = []
         for position, spec in enumerate(ordered):
-            task_id = min(position // per_task, total - 1) if per_task else 0
+            rank = override.get(spec.logical_key) if override else None
+            if rank is not None:
+                # Deal the rank's blocks round-robin over its omp threads,
+                # mirroring the contiguous deal's task granularity.
+                nth = per_rank_count.get(rank, 0)
+                per_rank_count[rank] = nth + 1
+                task_id = rank * omp + (nth % omp)
+            else:
+                task_id = min(position // per_task, total - 1) if per_task else 0
             assignment.append((spec, task_id))
         return assignment
 

@@ -26,6 +26,7 @@ from .backends import (
     CompletedCommHandle,
     ExecutionBackend,
     ExecutionWorld,
+    SpmdFailure,
     available_backends,
     get_backend,
     register_backend,
@@ -33,6 +34,8 @@ from .backends import (
 from .costmodel import CostBreakdown, CostModel
 from .errors import (
     CollectiveError,
+    DeadRankError,
+    InjectedFault,
     MachineModelError,
     NetworkError,
     PageFetchError,
@@ -79,5 +82,8 @@ __all__ = [
     "NetworkError",
     "PageFetchError",
     "CollectiveError",
+    "DeadRankError",
+    "InjectedFault",
     "MachineModelError",
+    "SpmdFailure",
 ]

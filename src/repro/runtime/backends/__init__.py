@@ -37,6 +37,7 @@ from .base import (
     ExecutionBackend,
     ExecutionWorld,
     RankResult,
+    SpmdFailure,
     raise_spmd_failures,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionWorld",
     "RankResult",
+    "SpmdFailure",
     "available_backends",
     "get_backend",
     "raise_spmd_failures",

@@ -27,7 +27,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import CollectiveError, NetworkError
+from ..errors import CollectiveError, InjectedFault, NetworkError
 from ..task import TaskContext
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionWorld",
     "RankResult",
+    "SpmdFailure",
     "group_requests_by_owner",
     "raise_spmd_failures",
 ]
@@ -45,6 +46,21 @@ __all__ = [
 
 class BackendError(RuntimeError):
     """An execution backend is unknown, unavailable or misconfigured."""
+
+
+class SpmdFailure(RuntimeError):
+    """One or more ranks of an SPMD run failed.
+
+    Subclasses :class:`RuntimeError` so existing callers that catch the
+    generic failure keep working; carries the per-rank
+    :class:`RankResult` list so the resilience layer can diagnose
+    *which* ranks died (injected faults, dead pipes) versus which merely
+    saw their peers' collectives fail.
+    """
+
+    def __init__(self, message: str, results: Optional[List["RankResult"]] = None) -> None:
+        super().__init__(message)
+        self.results: List["RankResult"] = list(results or [])
 
 
 @dataclass
@@ -56,13 +72,14 @@ class RankResult:
     error: Optional[BaseException] = None
 
 
-def raise_spmd_failures(results: List[RankResult]) -> None:
+def raise_spmd_failures(results: List[RankResult], *, note: Optional[str] = None) -> None:
     """Raise a RuntimeError summarising failed ranks (no-op when all passed).
 
     When both root-cause errors and secondary collective timeouts are
     present (a dead rank makes its peers' collectives fail too), the
     chained cause prefers the root cause so tracebacks point at the
-    actual bug.
+    actual bug.  ``note`` appends backend-level context (e.g. the first
+    transport send failure) that no single rank's error captures.
     """
     errors = [r for r in results if r.error is not None]
     if not errors:
@@ -71,9 +88,10 @@ def raise_spmd_failures(results: List[RankResult]) -> None:
         (r for r in errors if not isinstance(r.error, (CollectiveError, NetworkError))),
         errors[0],
     )
-    raise RuntimeError(
-        f"{len(errors)} rank(s) failed; first failure on rank {primary.rank}"
-    ) from primary.error
+    message = f"{len(errors)} rank(s) failed; first failure on rank {primary.rank}"
+    if note:
+        message = f"{message} ({note})"
+    raise SpmdFailure(message, results) from primary.error
 
 
 @dataclass
@@ -185,6 +203,46 @@ class ExecutionWorld(abc.ABC):
     backend_name: str = "?"
     #: Number of ranks.
     size: int
+    #: Installed fault plan (``None`` when no faults are injected).  The
+    #: plan is duck-typed (see :class:`repro.resilience.FaultPlan`) so
+    #: the runtime substrate never imports the resilience package.
+    fault_plan: Any = None
+
+    # -- failure injection ---------------------------------------------
+    def install_fault_plan(self, plan: Any) -> None:
+        """Install a seeded fault plan honored by this world's fault points.
+
+        Must be called **before** :meth:`run_spmd` — the process backend
+        ships the plan to child ranks over ``fork`` at launch, so a plan
+        installed later is invisible to them.
+        """
+        self.fault_plan = plan
+
+    def fault_point(self, rank: int, phase: str, epoch: Optional[int] = None) -> None:
+        """Fire any fault the installed plan schedules at this point.
+
+        Called by backends (``commit_registration``) and by the
+        resilience aspect (refresh entry / post-refresh).  ``phase`` is
+        one of ``"register"`` / ``"refresh"`` / ``"epoch"``; ``epoch``
+        is the rank's count of completed (non-warm-up) refresh rounds.
+        A ``kill`` fault terminates the rank via :meth:`_execute_kill`;
+        reply faults are consumed by the transport layers instead.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return
+        fault = plan.take_kill(rank, phase, epoch)
+        if fault is not None:
+            self._execute_kill(fault, rank)
+
+    def _execute_kill(self, fault: Any, rank: int) -> None:
+        """Kill ``rank``.  Default: raise :class:`InjectedFault` in-stack.
+
+        The process backend overrides this to ``os._exit`` forked child
+        ranks, exercising real child-death detection (dead pipes,
+        nonzero exit codes) in peers and in the parent collector.
+        """
+        raise InjectedFault(rank, str(fault))
 
     # -- SPMD launch ----------------------------------------------------
     @abc.abstractmethod

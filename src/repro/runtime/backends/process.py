@@ -66,10 +66,13 @@ a ``threads`` run's.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import queue
 import threading
 import time
+import warnings
+import zlib
 from collections import deque
 from multiprocessing.connection import wait as connection_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -78,7 +81,7 @@ import numpy as np
 
 from ...obs.metrics import global_metrics
 from ...obs.spans import global_tracer
-from ..errors import CollectiveError, NetworkError, TaskError
+from ..errors import CollectiveError, DeadRankError, InjectedFault, NetworkError, TaskError
 from ..network import NetworkStats, _payload_nbytes
 from ..simmpi import BlockDirectory
 from ..task import TaskContext, task_scope
@@ -134,6 +137,8 @@ class ProcessTransport:
         size: int,
         conns: Dict[int, Any],
         timeout: float,
+        *,
+        fault_plan: Any = None,
     ) -> None:
         self.rank = rank
         self.size = size
@@ -142,6 +147,20 @@ class ProcessTransport:
         self.stats = NetworkStats()
         #: The rank's Env replica, served to peers (set by register_env).
         self.endpoint: Any = None
+        #: Installed fault plan (reply faults act in ``_post_reply``).
+        self.fault_plan = fault_plan
+        #: Whether page replies carry an adler32 integrity checksum, so
+        #: corrupt-reply faults are *detected* (rejected by the
+        #: requester) instead of silently poisoning the numerics.
+        self._checksums = bool(fault_plan is not None and fault_plan.wants_checksums())
+        #: First outbound send that failed because the peer's pipe was
+        #: already dead — surfaced in the error raised at collect time so
+        #: the failure is diagnosable instead of silently swallowed.
+        self.first_send_error: Optional[str] = None
+        #: Outstanding page requests of the *main* thread: ``(peer,
+        #: req_id) -> description``, included in ``_await`` timeout
+        #: messages so a hang names exactly what never arrived.
+        self._outstanding: Dict[Tuple[int, int], str] = {}
         self._peer_of = {id(conn): peer for peer, conn in conns.items()}
         self._inbox: Dict[int, deque] = {peer: deque() for peer in conns}
         #: Guards the inboxes and the dead-peer set; the receiver thread
@@ -183,8 +202,24 @@ class ProcessTransport:
             peer, msg = item
             try:
                 self.conns[peer].send(msg)
-            except Exception:  # noqa: BLE001 - a failed send means the peer died;
-                # waits on that peer notice via _dead and fail fast.
+            except Exception as exc:  # noqa: BLE001 - a failed send means the peer died;
+                # waits on that peer notice via _dead and fail fast.  The
+                # failure itself is recorded (counter + first description)
+                # so it surfaces in the error raised at collect time
+                # instead of being silently swallowed here.
+                self.stats.peer_dead += 1
+                # The sender thread has no task scope; attribute the event
+                # to the rank's master task explicitly.
+                global_trace().for_task(
+                    TaskContext(
+                        mpi_rank=self.rank, mpi_size=self.size, omp_thread=0, omp_threads=1
+                    )
+                ).peer_dead += 1
+                if self.first_send_error is None:
+                    self.first_send_error = (
+                        f"rank {self.rank} could not send {msg[0]!r} to rank "
+                        f"{peer}: {exc!r}"
+                    )
                 with self._inbox_cond:
                     self._dead.add(peer)
                     self._inbox_cond.notify_all()
@@ -236,7 +271,11 @@ class ProcessTransport:
             from ...memory.page import PageKey  # local import to avoid a cycle
 
             data = self.endpoint.page_snapshot(PageKey(block_id, page_index))
-            reply = ("prep", req_id, data)
+            if self._checksums:
+                checksum = zlib.adler32(np.ascontiguousarray(data).tobytes())
+                reply = ("prep", req_id, data, checksum)
+            else:
+                reply = ("prep", req_id, data)
         except Exception as exc:  # noqa: BLE001 - shipped to the requester
             reply = ("perr", req_id, f"rank {self.rank} could not serve page "
                                      f"({block_id}, {page_index}): {exc!r}")
@@ -271,7 +310,11 @@ class ProcessTransport:
                 )
                 chunks.append(raw)
                 offset += len(raw)
-            reply = ("brep", req_id, b"".join(chunks), manifest)
+            payload = b"".join(chunks)
+            if self._checksums:
+                reply = ("brep", req_id, payload, manifest, zlib.adler32(payload))
+            else:
+                reply = ("brep", req_id, payload, manifest)
         except Exception as exc:  # noqa: BLE001 - shipped to the requester
             reply = ("perr", req_id, f"rank {self.rank} could not serve page batch "
                                      f"of {len(items)} pages: {exc!r}")
@@ -279,7 +322,27 @@ class ProcessTransport:
         self._post_reply(peer, reply)
 
     def _post_reply(self, peer: int, reply: tuple) -> None:
-        """Enqueue a page reply, via the interleaving shim when installed."""
+        """Enqueue a page reply, via the fault plan / interleaving shim."""
+        plan = self.fault_plan
+        if plan is not None and reply[0] in ("prep", "brep"):
+            fault = plan.take_reply(self.rank, peer)
+            if fault is not None:
+                if fault.kind == "drop_reply":
+                    # The reply never leaves; the requester's _await hits
+                    # its deadline and reports the outstanding request.
+                    return
+                if fault.kind == "corrupt_reply":
+                    # Flip payload bytes *after* the checksum was computed
+                    # over the pristine data, so the requester's integrity
+                    # check rejects the reply.
+                    reply = self._corrupt_reply(reply)
+                elif fault.kind == "delay_reply":
+                    timer = threading.Timer(
+                        fault.seconds, self._outbox.put, args=((peer, reply),)
+                    )
+                    timer.daemon = True
+                    timer.start()
+                    return
         shim = type(self).reply_shim
         if shim is not None:
             delay = float(shim(self.rank, peer, reply))
@@ -289,6 +352,20 @@ class ProcessTransport:
                 timer.start()
                 return
         self._outbox.put((peer, reply))
+
+    @staticmethod
+    def _corrupt_reply(reply: tuple) -> tuple:
+        """Return ``reply`` with its page payload perturbed (injected fault)."""
+        if reply[0] == "brep":
+            payload = bytearray(reply[2])
+            if payload:
+                payload[0] ^= 0xFF
+            return (reply[0], reply[1], bytes(payload)) + tuple(reply[3:])
+        data = np.array(reply[2], copy=True)
+        flat = data.reshape(-1)
+        if flat.size:
+            flat.flat[0] = flat.flat[0] + 1
+        return (reply[0], reply[1], data) + tuple(reply[3:])
 
     def _await(self, peer: int, match: Callable[[tuple], bool], what: str,
                *, fail_on_exit: bool = False) -> tuple:
@@ -312,17 +389,31 @@ class ProcessTransport:
                         f"rank {peer} exited while rank {self.rank} was waiting for {what}"
                     )
                 if peer in self._dead:
-                    raise NetworkError(
-                        f"rank {peer} closed its connection while rank {self.rank} "
-                        f"was waiting for {what}"
+                    raise DeadRankError(
+                        peer,
+                        f"closed its connection while rank {self.rank} was "
+                        f"waiting for {what}{self._pending_manifest(peer)}",
                     )
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise CollectiveError(
                         f"rank {self.rank} timed out after {self.timeout}s waiting "
-                        f"for {what} from rank {peer}"
+                        f"for {what} from rank {peer}{self._pending_manifest(peer)}"
                     )
                 self._inbox_cond.wait(min(remaining, 0.25))
+
+    def _pending_manifest(self, peer: Optional[int] = None) -> str:
+        """Render the outstanding page requests (of ``peer``, or all) for errors."""
+        pending = [
+            desc
+            for (req_peer, _req_id), desc in sorted(self._outstanding.items())
+            if peer is None or req_peer == peer
+        ]
+        if not pending:
+            return ""
+        shown = pending[:8]
+        more = f" (+{len(pending) - len(shown)} more)" if len(pending) > len(shown) else ""
+        return "; outstanding requests: " + ", ".join(shown) + more
 
     # -- collectives ----------------------------------------------------
     def collective(self, kind: str, value: Any, op: Callable[[List[Any]], Any]) -> Any:
@@ -368,15 +459,28 @@ class ProcessTransport:
         else:
             self._next_req += 1
             req_id = self._next_req
-            self._send(owner, ("preq", req_id, block_id, page_index))
-            msg = self._await(
-                owner,
-                lambda m: m[0] in ("prep", "perr") and m[1] == req_id,
-                f"page reply {req_id} for block {block_id} page {page_index}",
+            self._outstanding[(owner, req_id)] = (
+                f"page {page_index} of block {block_id} from rank {owner} (req {req_id})"
             )
+            try:
+                self._send(owner, ("preq", req_id, block_id, page_index))
+                msg = self._await(
+                    owner,
+                    lambda m: m[0] in ("prep", "perr") and m[1] == req_id,
+                    f"page reply {req_id} for block {block_id} page {page_index}",
+                )
+            finally:
+                self._outstanding.pop((owner, req_id), None)
             if msg[0] == "perr":
                 raise NetworkError(msg[2])
             data = msg[2]
+            if len(msg) > 3 and msg[3] is not None:
+                actual = zlib.adler32(np.ascontiguousarray(data).tobytes())
+                if actual != msg[3]:
+                    raise NetworkError(
+                        f"page reply {req_id} from rank {owner} failed its "
+                        f"integrity check (adler32 {actual:#010x} != {msg[3]:#010x})"
+                    )
             self.stats.messages += 1  # the reply (the request was counted by _send)
             self.stats.record_neighbor(self.rank, owner, 1, 32)
             self.stats.record_neighbor(owner, self.rank, 1, int(data.nbytes))
@@ -421,19 +525,32 @@ class ProcessTransport:
         """
         self._next_req += 1
         req_id = self._next_req
+        self._outstanding[(owner, req_id)] = (
+            f"bulk reply of {len(items)} pages from rank {owner} (req {req_id})"
+        )
         self._send(owner, ("breq", req_id, list(items)))
         return req_id
 
     def await_batch(self, owner: int, req_id: int, items: List[Tuple[int, int]]) -> List[Any]:
         """Block until the ``brep`` for ``req_id`` arrived; unpack and account it."""
-        msg = self._await(
-            owner,
-            lambda m: m[0] in ("brep", "perr") and m[1] == req_id,
-            f"bulk page reply {req_id} ({len(items)} pages)",
-        )
+        try:
+            msg = self._await(
+                owner,
+                lambda m: m[0] in ("brep", "perr") and m[1] == req_id,
+                f"bulk page reply {req_id} ({len(items)} pages)",
+            )
+        finally:
+            self._outstanding.pop((owner, req_id), None)
         if msg[0] == "perr":
             raise NetworkError(msg[2])
         payload, manifest = msg[2], msg[3]
+        if len(msg) > 4 and msg[4] is not None:
+            actual = zlib.adler32(payload)
+            if actual != msg[4]:
+                raise NetworkError(
+                    f"bulk page reply {req_id} from rank {owner} failed its "
+                    f"integrity check (adler32 {actual:#010x} != {msg[4]:#010x})"
+                )
         datas = [
             np.frombuffer(
                 payload, dtype=dt, count=nbytes // dt.itemsize, offset=offset
@@ -465,6 +582,18 @@ class ProcessTransport:
         # Stop the receiver before closing the pipes out from under it.
         self._recv_stop = True
         self._receiver.join(timeout=5.0)
+        # A transport thread still alive after its join timeout is stuck
+        # in a blocking pipe operation; warn so CI hangs are diagnosable
+        # instead of silently leaking the thread.
+        leaked = [t.name for t in (self._sender, self._receiver) if t.is_alive()]
+        if leaked:
+            warnings.warn(
+                f"rank {self.rank} transport leaked thread(s) {', '.join(leaked)} "
+                "(still alive after the 5s close timeout; likely blocked on a "
+                "full or dead pipe)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for conn in self.conns.values():
             try:
                 conn.close()
@@ -489,6 +618,22 @@ class ProcessWorld(ExecutionWorld):
         self._transport: Optional[ProcessTransport] = None
         self._pending_blocks: List[Tuple[Any, int, int, bool]] = []
         self._finalized = False
+        #: True inside a forked rank process (set in _child_main).  An
+        #: injected kill there is a *real* process death (``os._exit``),
+        #: so peers and the parent exercise genuine dead-pipe detection.
+        self._forked_child = False
+        #: First undeliverable send observed by any rank's transport,
+        #: surfaced in the failure raised after collection.
+        self._send_notes: List[str] = []
+
+    # -- failure injection ----------------------------------------------
+    def _execute_kill(self, fault: Any, rank: int) -> None:
+        if self._forked_child:
+            # Hard exit: no exit barrier, no result payload, every pipe
+            # closes mid-protocol.  Peers see EOF, the parent collector
+            # sees a dead result pipe and a nonzero exit code.
+            os._exit(1)
+        raise InjectedFault(rank, str(fault))
 
     # -- SPMD launch ----------------------------------------------------
     def run_spmd(
@@ -528,13 +673,15 @@ class ProcessWorld(ExecutionWorld):
                 conn.close()
             result_pipes[rank][1].close()
         self._transport = transport = ProcessTransport(
-            0, self.size, conns_of[0], self.timeout
+            0, self.size, conns_of[0], self.timeout, fault_plan=self.fault_plan
         )
         try:
             self._run_rank_inline(results[0], body, omp_threads, mpi_size=self.size)
             self._collect_children(results, result_pipes, procs)
         finally:
             self.stats.merge(transport.stats)
+            if transport.first_send_error is not None:
+                self._send_notes.insert(0, transport.first_send_error)
             transport.close()
             self._transport = None
             for rank, proc in procs.items():
@@ -542,7 +689,7 @@ class ProcessWorld(ExecutionWorld):
                 if proc.is_alive():  # pragma: no cover - defensive teardown
                     proc.terminate()
                     proc.join(timeout=5.0)
-        raise_spmd_failures(results)
+        raise_spmd_failures(results, note=self._send_notes[0] if self._send_notes else None)
         return results
 
     def _run_rank_inline(
@@ -583,8 +730,9 @@ class ProcessWorld(ExecutionWorld):
             if other != rank:
                 for conn in conns.values():
                     conn.close()
+        self._forked_child = True
         self._transport = transport = ProcessTransport(
-            rank, self.size, conns_of[rank], self.timeout
+            rank, self.size, conns_of[rank], self.timeout, fault_plan=self.fault_plan
         )
         # The child's fork-copied trace may contain pre-fork counters;
         # reset so only this rank's tasks are shipped back to the parent.
@@ -613,6 +761,7 @@ class ProcessWorld(ExecutionWorld):
             # the parent's merge lines ranks up on one timeline.
             "spans": tracer.snapshot() if tracer.enabled else [],
             "metrics": global_metrics().export_state() if tracer.enabled else {},
+            "send_error": transport.first_send_error,
         }
         try:
             result_conn.send(payload)
@@ -626,16 +775,32 @@ class ProcessWorld(ExecutionWorld):
         for rank in range(1, self.size):
             recv_conn = result_pipes[rank][0]
             remaining = max(deadline - time.monotonic(), 0.1)
+            proc = procs.get(rank)
+            exitcode = proc.exitcode if proc is not None else None
             try:
                 if recv_conn.poll(remaining):
                     payload = recv_conn.recv()
                 else:
+                    if proc is not None:
+                        proc.join(timeout=0.5)
+                        exitcode = proc.exitcode
+                    if exitcode is not None and exitcode != 0:
+                        raise DeadRankError(
+                            rank, f"process exited with code {exitcode} before reporting"
+                        )
                     raise NetworkError(
                         f"rank {rank} did not report a result within {self.timeout}s"
                     )
             except (EOFError, OSError):
-                results[rank].error = NetworkError(
-                    f"rank {rank} died without reporting a result"
+                # Dead result pipe: the child died (crash or injected
+                # os._exit) without shipping its payload.
+                if proc is not None:
+                    proc.join(timeout=5.0)
+                    exitcode = proc.exitcode
+                results[rank].error = DeadRankError(
+                    rank,
+                    "died without reporting a result"
+                    + (f" (exit code {exitcode})" if exitcode is not None else ""),
                 )
                 continue
             except NetworkError as exc:
@@ -645,6 +810,8 @@ class ProcessWorld(ExecutionWorld):
                 recv_conn.close()
             results[rank].value = payload["value"]
             results[rank].error = payload["error"]
+            if payload.get("send_error"):
+                self._send_notes.append(payload["send_error"])
             trace.merge_counters(payload["counters"])
             self.stats.merge(payload["stats"])
             global_tracer().merge_events(payload.get("spans", ()))
@@ -672,6 +839,8 @@ class ProcessWorld(ExecutionWorld):
         """Allgather every rank's directory entries (doubles as a barrier)."""
         transport = self._require_transport()
         pending, self._pending_blocks = self._pending_blocks, []
+        if self.fault_plan is not None:
+            self.fault_point(transport.rank if transport is not None else 0, "register")
         if transport is None:
             return  # single-rank world: the local directory is complete
         own_rank = transport.rank

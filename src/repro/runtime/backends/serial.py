@@ -78,7 +78,10 @@ class SerialWorld(ExecutionWorld):
         self.directory.register(logical_key, rank, block_id, owner=owner)
 
     def commit_registration(self) -> None:
-        pass  # a single rank's directory is complete by construction
+        # A single rank's directory is complete by construction; only the
+        # kill-before-commit fault point remains meaningful here.
+        if self.fault_plan is not None:
+            self.fault_point(0, "register")
 
     # -- collectives ----------------------------------------------------
     def barrier(self) -> None:

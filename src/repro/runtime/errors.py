@@ -30,5 +30,35 @@ class CollectiveError(RuntimeErrorBase):
     """A collective operation was entered inconsistently across tasks."""
 
 
+class InjectedFault(RuntimeErrorBase):
+    """A :class:`~repro.resilience.FaultPlan` killed this rank on purpose.
+
+    Raised inside the victim rank's own call stack on backends where the
+    rank shares the parent interpreter (serial, threads, and process
+    rank 0); on forked process ranks the kill is a real ``os._exit`` and
+    peers observe a :class:`DeadRankError` instead.  Carries the victim
+    rank so recovery can diagnose who died without parsing messages.
+    """
+
+    def __init__(self, rank: int, description: str = "") -> None:
+        detail = f": {description}" if description else ""
+        super().__init__(f"injected fault killed rank {rank}{detail}")
+        self.rank = rank
+
+
+class DeadRankError(NetworkError):
+    """A peer rank died (dead pipe, nonzero exit code, or marked dead).
+
+    Unlike a plain :class:`NetworkError` timeout this pinpoints *which*
+    rank is gone (``.rank``), which is what the recovery layer needs to
+    re-partition the dead rank's blocks onto survivors.
+    """
+
+    def __init__(self, rank: int, description: str = "") -> None:
+        detail = f": {description}" if description else ""
+        super().__init__(f"rank {rank} is dead{detail}")
+        self.rank = rank
+
+
 class MachineModelError(RuntimeErrorBase):
     """A machine specification or cost-model input is invalid."""

@@ -23,13 +23,14 @@ network records the traffic as a message pair.  This mirrors MPI RMA
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .errors import CollectiveError, NetworkError
+from .errors import CollectiveError, DeadRankError, NetworkError
 
 __all__ = ["SimNetwork", "NetworkStats", "AsyncBatchFetch"]
 
@@ -54,6 +55,9 @@ class NetworkStats:
     #: a whole batch of pages, and how many pages those batches carried.
     bulk_fetches: int = 0
     bulk_pages: int = 0
+    #: Replies that could not be delivered because the peer was already
+    #: dead (process backend: broken pipe in the sender thread).
+    peer_dead: int = 0
     #: Page traffic per directed neighbor pair: "src->dst" ->
     #: {"messages": n, "bytes": n}.  Collectives are not attributed.
     per_neighbor: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -121,6 +125,50 @@ class SimNetwork:
         #: Per-rank endpoints registered by the distributed-memory aspect
         #: (rank -> object exposing ``page_snapshot(key)``, typically an Env).
         self._endpoints: Dict[int, Any] = {}
+        #: Ranks declared dead (rank -> reason).  Collectives and fetches
+        #: involving a dead rank fail fast with :class:`DeadRankError`
+        #: instead of blocking until the timeout.
+        self._dead: Dict[int, str] = {}
+        #: Installed fault plan (duck-typed, see ``repro.resilience``);
+        #: consulted by the page-serving path for reply faults.
+        self.fault_plan: Any = None
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def mark_dead(self, rank: int, reason: str = "") -> None:
+        """Declare ``rank`` dead and wake every blocked waiter.
+
+        The barrier is aborted (everyone inside or arriving later gets a
+        ``BrokenBarrierError`` converted below) and both condition
+        variables are notified so allreduce/recv waiters re-check and
+        fail fast — peers detect the death immediately instead of
+        burning the full communication timeout.
+        """
+        self._check_rank(rank)
+        with self._lock:
+            self._dead[rank] = reason or "marked dead"
+        self._barrier.abort()
+        with self._allreduce_cond:
+            self._allreduce_cond.notify_all()
+        with self._mail_cond:
+            self._mail_cond.notify_all()
+
+    def dead_ranks(self) -> Dict[int, str]:
+        with self._lock:
+            return dict(self._dead)
+
+    def _first_dead(self) -> Optional[Tuple[int, str]]:
+        with self._lock:
+            if not self._dead:
+                return None
+            rank = min(self._dead)
+            return rank, self._dead[rank]
+
+    def _raise_if_dead(self) -> None:
+        dead = self._first_dead()
+        if dead is not None:
+            raise DeadRankError(dead[0], dead[1])
 
     # ------------------------------------------------------------------
     # endpoint registry (used for one-sided page fetches)
@@ -174,6 +222,8 @@ class SimNetwork:
                         if sender == src:
                             del queue[index]
                             return payload
+                if src is not None and src in self._dead:
+                    raise DeadRankError(src, f"recv on rank {dst} tag {tag!r}")
                 if not self._mail_cond.wait(timeout=self.timeout):
                     raise NetworkError(
                         f"recv timed out on rank {dst} tag {tag!r} (src={src})"
@@ -187,9 +237,13 @@ class SimNetwork:
         self.stats.barriers += 1
         if self.size == 1:
             return
+        self._raise_if_dead()
         try:
             self._barrier.wait(timeout=self.timeout)
         except threading.BrokenBarrierError as exc:
+            dead = self._first_dead()
+            if dead is not None:
+                raise DeadRankError(dead[0], f"barrier aborted: {dead[1]}") from exc
             raise CollectiveError("barrier broken (a rank died or timed out)") from exc
 
     def allreduce(self, value: Any, op: Callable[[List[Any]], Any]) -> Any:
@@ -198,6 +252,7 @@ class SimNetwork:
         self.stats.messages += max(self.size - 1, 0) * 2
         if self.size == 1:
             return op([value])
+        self._raise_if_dead()
         with self._allreduce_cond:
             generation = self._allreduce_generation
             self._allreduce_values.append(value)
@@ -208,7 +263,13 @@ class SimNetwork:
                 self._allreduce_cond.notify_all()
             else:
                 while self._allreduce_generation == generation:
-                    if not self._allreduce_cond.wait(timeout=self.timeout):
+                    woke = self._allreduce_cond.wait(timeout=self.timeout)
+                    dead = self._first_dead()
+                    if dead is not None and self._allreduce_generation == generation:
+                        raise DeadRankError(
+                            dead[0], f"allreduce will never complete: {dead[1]}"
+                        )
+                    if not woke and self._allreduce_generation == generation:
                         raise CollectiveError("allreduce timed out")
             return self._allreduce_result
 
@@ -232,6 +293,10 @@ class SimNetwork:
         """
         self._check_rank(requester)
         self._check_rank(owner)
+        with self._lock:
+            if owner in self._dead:
+                raise DeadRankError(owner, f"page fetch by rank {requester}")
+        self._apply_reply_fault(owner, requester)
         endpoint = self.endpoint(owner)
         from ..memory.page import PageKey  # local import to avoid a cycle
 
@@ -257,6 +322,10 @@ class SimNetwork:
         """
         self._check_rank(requester)
         self._check_rank(owner)
+        with self._lock:
+            if owner in self._dead:
+                raise DeadRankError(owner, f"bulk page fetch by rank {requester}")
+        self._apply_reply_fault(owner, requester)
         endpoint = self.endpoint(owner)
         from ..memory.page import PageKey  # local import to avoid a cycle
 
@@ -293,6 +362,33 @@ class SimNetwork:
         return AsyncBatchFetch(self, requester, owner, pages)
 
     # ------------------------------------------------------------------
+    def _apply_reply_fault(self, owner: int, requester: int) -> None:
+        """Consume one scheduled reply fault on the owner→requester reply.
+
+        The simulated network is one-sided (no real wire), so a dropped
+        reply surfaces as the timeout the requester would eventually hit
+        and a corrupted reply as the checksum rejection the transport
+        layer would perform — both as :class:`NetworkError`, immediately.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return
+        fault = plan.take_reply(owner, requester)
+        if fault is None:
+            return
+        if fault.kind == "delay_reply":
+            time.sleep(fault.seconds)
+        elif fault.kind == "drop_reply":
+            raise NetworkError(
+                f"injected fault dropped the page reply {owner}->{requester}; "
+                "requester timed out"
+            )
+        elif fault.kind == "corrupt_reply":
+            raise NetworkError(
+                f"page reply {owner}->{requester} failed its integrity check "
+                "(injected corruption)"
+            )
+
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):
             raise NetworkError(f"rank {rank} outside world of size {self.size}")

@@ -36,9 +36,9 @@ from .backends.base import (
     group_requests_by_owner,
     raise_spmd_failures,
 )
-from .errors import NetworkError, TaskError
+from .errors import InjectedFault, NetworkError, TaskError
 from .network import SimNetwork
-from .task import TaskContext, task_scope
+from .task import TaskContext, current_task, task_scope
 
 __all__ = ["BlockDirectory", "MPIWorld", "RankResult"]
 
@@ -89,6 +89,16 @@ class BlockDirectory:
         with self._lock:
             return list(self._owner)
 
+    def owners(self) -> Dict[Any, int]:
+        """Snapshot of the full ``logical_key -> owner rank`` map.
+
+        The recovery layer reads this post-mortem to learn which blocks
+        the dead rank owned and in what order the survivors should deal
+        them out again.
+        """
+        with self._lock:
+            return dict(self._owner)
+
 
 class MPIWorld(ExecutionWorld):
     """One simulated MPI world: ranks, network, block directory."""
@@ -128,7 +138,24 @@ class MPIWorld(ExecutionWorld):
         is just the barrier that keeps any rank from computing before
         every rank finished registering.
         """
+        if self.fault_plan is not None:
+            self.fault_point(current_task().mpi_rank, "register")
         self.network.barrier()
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan: Any) -> None:
+        super().install_fault_plan(plan)
+        # Reply faults (delay/drop/corrupt) act in the page-serving path.
+        self.network.fault_plan = plan
+
+    def _execute_kill(self, fault: Any, rank: int) -> None:
+        # Mark the rank dead *before* raising so peers blocked in (or
+        # arriving at) collectives fail fast instead of waiting out the
+        # full communication timeout.
+        self.network.mark_dead(rank, str(fault))
+        raise InjectedFault(rank, str(fault))
 
     # ------------------------------------------------------------------
     # collectives (delegated to the simulated interconnect)

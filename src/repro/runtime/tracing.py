@@ -85,6 +85,16 @@ class TaskCounters:
     overlap_wait_ns: int = 0
     overlap_flight_ns: int = 0
     overlap_drained: int = 0
+    #: Resilience activity: epoch checkpoints saved (and the pages they
+    #: snapshot), pages restored from a checkpoint after a rank failure,
+    #: refreshes skipped by the fast-forward replay of a recovery, and
+    #: page replies the process transport could not deliver because the
+    #: requesting peer's pipe was already dead.
+    checkpoints: int = 0
+    checkpoint_pages: int = 0
+    restored_pages: int = 0
+    replayed_steps: int = 0
+    peer_dead: int = 0
     #: Qualitative access pattern of the workload ('contiguous'|'random'|'bucketed')
     #: recorded by the DSL layer, consumed by the shared-memory contention model.
     access_pattern: str = "contiguous"
@@ -184,6 +194,11 @@ class TraceRecorder:
             "overlap_wait_ns": self.total("overlap_wait_ns"),
             "overlap_flight_ns": self.total("overlap_flight_ns"),
             "overlap_drained": self.total("overlap_drained"),
+            "checkpoints": self.total("checkpoints"),
+            "checkpoint_pages": self.total("checkpoint_pages"),
+            "restored_pages": self.total("restored_pages"),
+            "replayed_steps": self.total("replayed_steps"),
+            "peer_dead": self.total("peer_dead"),
         }
 
 

@@ -528,8 +528,9 @@ class TestNumericalEquivalence:
         )
         assert set(run.network) == {
             "messages", "bytes_moved", "barriers", "allreduces", "page_fetches",
-            "bulk_fetches", "bulk_pages", "per_neighbor",
+            "bulk_fetches", "bulk_pages", "per_neighbor", "peer_dead",
         }
+        assert run.network["peer_dead"] == 0  # healthy run: no dead peers
         if ranks > 1:
             assert run.network["page_fetches"] > 0
             assert run.network["bytes_moved"] > 0
