@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Zero-copy shm page transport vs the packed pipe path (process backend).
+
+Runs the 2-D Jacobi structured-grid sweep on a 4-rank process-backend
+world twice — once with ``page_transport="pipe"`` (page bytes pickled
+into every ``brep`` reply) and once with ``page_transport="shm"``
+(pages served from named shared-memory segments; only slot descriptors
+cross the pipes) — and reports wall-clock, the ``halo.exchange`` span
+time (the page-move cost the transport actually changes), and the
+**pickled payload bytes**: ``bytes_moved - shm_bytes``, i.e. the
+traffic that still had to be serialised into a pipe.
+
+Gates (checked on every run):
+
+* both transports must produce numerically identical results;
+* identical message counts (shm changes *how* page bytes travel,
+  never how many exchanges happen);
+* the pipe run must pickle at least ``--min-ratio`` (default 2.0)
+  times as many payload bytes as the shm run — the deterministic
+  acceptance criterion, independent of machine noise;
+* at full size on a multi-core host: the summed ``halo.exchange``
+  span must drop by the same factor (the wall-clock form of the same
+  win).  On a single-core container the ranks time-share one CPU, so
+  the span mostly measures scheduler hand-offs, not byte movement —
+  there (and in ``--smoke``) the span ratio is reported but not
+  gated, as for the wall-clock caveat in ``bench_overlap.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shm.py
+    PYTHONPATH=src python benchmarks/bench_shm.py --smoke
+    PYTHONPATH=src python benchmarks/bench_shm.py --json BENCH_shm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import (  # noqa: E402
+    Workload,
+    format_table,
+    mpi_aspects,
+    run_platform,
+    sgrid_workload,
+)
+from repro.runtime import get_backend  # noqa: E402
+from repro.runtime.shm import shm_available  # noqa: E402
+
+RANKS = 4
+PICKLED_GATE = 2.0  # pipe must pickle >=2x the payload bytes of shm
+SPAN_GATE = 2.0     # full size: page-move span must drop by the same factor
+
+
+def _timed_run(work: Workload, *, transport: str, repeats: int):
+    """Best-of-``repeats`` 4-rank traced run of ``work`` on one transport."""
+    best_s = None
+    best_run = None
+    for _ in range(max(repeats, 1)):
+        run = run_platform(
+            work,
+            aspects=mpi_aspects(
+                RANKS, backend="process", page_transport=transport, overlap=False
+            ),
+            mmat=True,
+            tracing=True,
+        )
+        if best_s is None or run.elapsed < best_s:
+            best_s = run.elapsed
+            best_run = run
+    return best_s, best_run
+
+
+def _halo_exchange_ns(run) -> int:
+    """Summed duration of every rank's blocking ``halo.exchange`` spans."""
+    return sum(
+        event.get("dur_ns", 0)
+        for event in run.timeline()
+        if event.get("ph") == "X" and event.get("name") == "halo.exchange"
+    )
+
+
+def _pickled_bytes(run) -> int:
+    """Payload bytes that crossed a pipe: logical traffic minus shm bytes."""
+    return run.network["bytes_moved"] - run.network["shm_bytes"]
+
+
+def _results_equivalent(a_run, b_run) -> bool:
+    a = np.asarray(a_run.result, dtype=np.float64)
+    b = np.asarray(b_run.result, dtype=np.float64)
+    return a.shape == b.shape and bool(
+        np.array_equal(np.nan_to_num(a, nan=-1.0), np.nan_to_num(b, nan=-1.0))
+    )
+
+
+def measure_transports(work: Workload, *, repeats: int = 3) -> dict:
+    pipe_s, pipe_run = _timed_run(work, transport="pipe", repeats=repeats)
+    shm_s, shm_run = _timed_run(work, transport="shm", repeats=repeats)
+    pipe_pickled = _pickled_bytes(pipe_run)
+    shm_pickled = _pickled_bytes(shm_run)
+    pipe_span = _halo_exchange_ns(pipe_run)
+    shm_span = _halo_exchange_ns(shm_run)
+    rows = []
+    for name, elapsed, run, pickled, span in (
+        ("pipe", pipe_s, pipe_run, pipe_pickled, pipe_span),
+        ("shm", shm_s, shm_run, shm_pickled, shm_span),
+    ):
+        rows.append(
+            {
+                "transport": name,
+                "ranks": RANKS,
+                "elapsed_s": elapsed,
+                "halo_exchange_ms": span / 1e6,
+                "pickled_bytes": pickled,
+                "bytes_moved": run.network["bytes_moved"],
+                "shm_fetches": run.network["shm_fetches"],
+                "shm_bytes": run.network["shm_bytes"],
+                "shm_fallbacks": run.network["shm_fallbacks"],
+                "messages": sum(c.messages for c in run.counters.values()),
+            }
+        )
+    return {
+        "rows": rows,
+        "pipe_run": pipe_run,
+        "shm_run": shm_run,
+        "pickled_ratio": pipe_pickled / shm_pickled if shm_pickled else float("inf"),
+        "span_ratio": pipe_span / shm_span if shm_span else float("inf"),
+        "equivalent": _results_equivalent(pipe_run, shm_run),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--loops", type=int, default=4, help="time steps per run")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per transport (best wall-clock kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small problem, 1 repeat (CI); span-time gate off")
+    parser.add_argument("--min-ratio", type=float, default=PICKLED_GATE,
+                        help="required pipe/shm pickled-payload-bytes ratio "
+                             f"(default {PICKLED_GATE})")
+    parser.add_argument("--json", metavar="PATH",
+                        help="emit the rows as JSON (perf trajectory for future PRs)")
+    args = parser.parse_args(argv)
+
+    if not get_backend("process").available() or not shm_available():
+        print("SKIPPED: process backend with shared memory unavailable here")
+        return 0
+
+    if args.smoke:
+        work = sgrid_workload(96, loops=args.loops, block_size=48).with_config(
+            page_elements=1152
+        )
+        repeats = 1
+    else:
+        # One 256x256 block per rank; 64 KiB halo pages make the pickled
+        # payload the dominant per-exchange cost on the pipe path.
+        work = sgrid_workload(512, loops=args.loops, block_size=256).with_config(
+            page_elements=8192
+        )
+        repeats = args.repeats
+
+    measured = measure_transports(work, repeats=repeats)
+    rows = measured["rows"]
+    print(format_table(
+        rows, title=f"shm vs pipe page transport ({RANKS} ranks, {work.name})"
+    ))
+    print(
+        f"pickled payload: {measured['pickled_ratio']:.1f}x less with shm; "
+        f"halo.exchange span: {measured['span_ratio']:.1f}x faster"
+    )
+
+    if args.json:
+        doc = {"mode": "smoke" if args.smoke else "full", "ranks": RANKS,
+               "shm": rows,
+               "pickled_ratio": measured["pickled_ratio"],
+               "span_ratio": measured["span_ratio"]}
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if not measured["equivalent"]:
+        print("FAILED: shm results diverge from the pipe transport")
+        return 1
+    pipe_row, shm_row = rows
+    if pipe_row["messages"] != shm_row["messages"]:
+        print("FAILED: the transports disagree on message counts "
+              f"(pipe {pipe_row['messages']}, shm {shm_row['messages']})")
+        return 1
+    if shm_row["shm_fetches"] == 0:
+        print("FAILED: the shm run served no pages through shared memory")
+        return 1
+    if measured["pickled_ratio"] < args.min_ratio:
+        print(
+            f"FAILED: pipe pickles only {measured['pickled_ratio']:.2f}x the "
+            f"payload bytes of shm (gate {args.min_ratio:.1f}x)"
+        )
+        return 1
+    multicore = (os.cpu_count() or 1) > 1
+    if not args.smoke and multicore and measured["span_ratio"] < SPAN_GATE:
+        print(
+            f"FAILED: halo.exchange span dropped only "
+            f"{measured['span_ratio']:.2f}x with shm (gate {SPAN_GATE:.1f}x)"
+        )
+        return 1
+    if not args.smoke and not multicore:
+        print(
+            f"note: single-core host — halo.exchange span ratio "
+            f"{measured['span_ratio']:.2f}x reported, {SPAN_GATE:.1f}x gate skipped"
+        )
+    print(
+        f"OK: shm moved {shm_row['shm_fetches']} pages "
+        f"({shm_row['shm_bytes']} bytes) through shared segments, "
+        f"pickling {measured['pickled_ratio']:.1f}x less payload than pipe "
+        f"(gate {args.min_ratio:.1f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,7 @@ from ..obs import (
     widest_spans,
 )
 from ..runtime.machine import OAKBRIDGE_CX_LIKE, MachineSpec
+from ..runtime.shm import validate_page_transport
 from ..runtime.tracing import TaskCounters, global_trace
 from .target import TargetApplication
 
@@ -90,6 +91,7 @@ class PlatformRun:
 
     @property
     def result(self) -> Any:
+        """The application's declared result (``app.result``)."""
         return self.app.result
 
     @property
@@ -223,6 +225,7 @@ class PlatformRun:
                 line += f" fallback={fallback}"
         line += self._comm_plan_summary()
         line += self._overlap_summary()
+        line += self._shm_summary()
         line += self._imbalance_summary()
         return line
 
@@ -282,6 +285,25 @@ class PlatformRun:
             part += f" drained={drained}"
         return part
 
+    def _shm_summary(self) -> str:
+        """The ``shm=…`` section of :meth:`summary` (zero-copy data plane).
+
+        Reports how many pages arrived as shared-memory descriptors and
+        how many bytes therefore never crossed a pipe; present only when
+        the process backend ran with the shm page transport.  A
+        ``fallback=…`` tail counts pages that had to take the packed
+        pipe path while in shm mode (object dtype or empty pages).
+        """
+        fetches = sum(c.shm_fetches for c in self.counters.values())
+        if not fetches:
+            return ""
+        nbytes = sum(c.shm_bytes for c in self.counters.values())
+        part = f" shm={fetches}pg/{nbytes / 1024:.1f}KiB"
+        fallbacks = sum(c.shm_fallbacks for c in self.counters.values())
+        if fallbacks:
+            part += f" fallback={fallbacks}pg"
+        return part
+
     def overlap_efficiency(self) -> float:
         """Fraction of the overlapped halo flight time hidden behind compute.
 
@@ -336,6 +358,7 @@ class PlatformBuilder:
         self._machine: Optional[MachineSpec] = None
         self._transcompile: Optional[bool] = None
         self._backend: Optional[str] = None
+        self._page_transport: Optional[str] = None
         self._tracing: Optional[bool] = None
         self._resilience: Any = None
         self._comm_timeout: Optional[float] = None
@@ -413,6 +436,21 @@ class PlatformBuilder:
         self._backend = str(name)
         return self
 
+    def page_transport(self, name: str) -> "PlatformBuilder":
+        """Bulk page-fetch data plane of the process backend.
+
+        ``"shm"`` moves page bytes through named shared-memory segments
+        (only slot descriptors travel over the pipes), ``"pipe"`` packs
+        the bytes into the reply message (the escape hatch, and the
+        automatic fallback wherever shm cannot apply), and ``"auto"``
+        (the default) picks shm whenever the platform supports it.
+        Backends other than ``"process"`` ignore the knob.  Validated
+        immediately; the resulting Platform forwards it to
+        ``create_world(page_transport=)``.
+        """
+        self._page_transport = validate_page_transport(name)
+        return self
+
     def tracing(self, enabled: bool = True) -> "PlatformBuilder":
         """Record a span timeline + metrics for every run of the platform.
 
@@ -463,6 +501,8 @@ class PlatformBuilder:
             kwargs["transcompile"] = self._transcompile
         if self._backend is not None:
             kwargs["backend"] = self._backend
+        if self._page_transport is not None:
+            kwargs["page_transport"] = self._page_transport
         if self._tracing is not None:
             kwargs["tracing"] = self._tracing
         if self._resilience is not None:
@@ -543,6 +583,13 @@ class Platform:
         (``"serial"`` | ``"threads"`` | ``"process"`` | a registered
         custom backend).  ``None`` lets each layer aspect decide (the
         default is the ``threads`` simulation).
+    page_transport:
+        Bulk page-fetch data plane of the process backend (``"auto"`` |
+        ``"shm"`` | ``"pipe"``).  ``"shm"`` serves pages through named
+        shared-memory segments so only descriptors travel over the
+        pipes; ``"pipe"`` packs page bytes into the reply message;
+        ``"auto"`` (and ``None``) picks shm whenever the platform
+        supports it.  Ignored by the other backends.
     tracing:
         Record a span timeline and metrics for every run
         (:mod:`repro.obs`); adds a :class:`~repro.obs.MonitoringAspect`
@@ -559,6 +606,7 @@ class Platform:
         machine: MachineSpec = OAKBRIDGE_CX_LIKE,
         transcompile: Optional[bool] = None,
         backend: Optional[str] = None,
+        page_transport: Optional[str] = None,
         tracing: Optional[bool] = None,
         resilience: Any = None,
         comm_timeout: Optional[float] = None,
@@ -576,6 +624,13 @@ class Platform:
             except BackendError as exc:
                 raise ValueError(str(exc)) from None
         self.backend = backend
+        #: Bulk page-fetch data plane of the process backend (``"auto"``
+        #: | ``"shm"`` | ``"pipe"``); ``None`` keeps ``"auto"`` (shared
+        #: memory whenever the platform supports it).  Other backends
+        #: accept and ignore the knob.
+        self.page_transport = (
+            None if page_transport is None else validate_page_transport(page_transport)
+        )
         self.transcompile = transcompile
         #: Communication timeout (seconds) forwarded to the distributed
         #: layer's ``create_world(timeout=)``; None keeps the 60s default.
@@ -636,6 +691,7 @@ class Platform:
         pool_bytes: Optional[int] = None,
         machine: Optional[MachineSpec] = None,
         backend: Optional[str] = None,
+        page_transport: Optional[str] = None,
         mpi: Optional[int] = None,
         omp: Optional[int] = None,
         tracing: Optional[bool] = None,
@@ -672,6 +728,8 @@ class Platform:
             builder.machine(machine)
         if backend is not None:
             builder.backend(backend)
+        if page_transport is not None:
+            builder.page_transport(page_transport)
         if tracing is not None:
             builder.tracing(tracing)
         configure(builder, int(ranks), int(threads))
@@ -680,12 +738,14 @@ class Platform:
     # ------------------------------------------------------------------
     @property
     def total_tasks(self) -> int:
+        """Total task count: the product of every layer's parallelism."""
         total = 1
         for aspect in self.aspects:
             total *= getattr(aspect, "parallelism", 1)
         return total
 
     def layer_parallelism(self) -> Dict[str, int]:
+        """Map of layer name (``"mpi"``, ``"omp"``, …) to its parallelism."""
         layers: Dict[str, int] = {}
         for aspect in self.aspects:
             layer = getattr(aspect, "layer", None)
@@ -694,6 +754,7 @@ class Platform:
         return layers
 
     def parallelism_of(self, layer: str) -> int:
+        """Parallelism of one layer; 1 when the layer is not woven."""
         return self.layer_parallelism().get(layer, 1)
 
     # ------------------------------------------------------------------

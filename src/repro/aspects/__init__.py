@@ -1,12 +1,27 @@
 """Aspect Module Library (Platform Part A.3 of the paper).
 
-One reusable aspect module per HPC-system layer:
+One reusable aspect module per HPC-system layer, woven into annotated
+application classes by the :mod:`repro.aop` weaver:
 
-* :class:`DistributedMemoryAspect` — the "MPI" layer (AspectType I/II/III);
-* :class:`SharedMemoryAspect` — the "OpenMP" layer (AspectType I/II);
-* :func:`hybrid_aspects` / :func:`mpi_aspects` / :func:`openmp_aspects` —
-  the standard combinations used by the evaluation;
+* :class:`DistributedMemoryAspect` — the "MPI" layer (AspectType
+  I/II/III).  Runs on any registered execution backend
+  (``serial``/``threads``/``process`` — see
+  :mod:`repro.runtime.backends`), compiles :class:`CommPlan` aggregated
+  halo exchanges from the MMAT's access plans, overlaps them behind
+  interior computation (:class:`PendingHalo`), and on the process
+  backend selects the page data plane via ``page_transport``
+  (zero-copy shared memory or the packed-pipe path).
+* :class:`SharedMemoryAspect` — the "OpenMP" layer (AspectType I/II):
+  thread teams, worksharing and ``single`` regions per rank.
+* :func:`hybrid_aspects` / :func:`mpi_aspects` / :func:`openmp_aspects`
+  — the standard layer combinations used by the evaluation, all
+  accepting ``backend=`` / ``page_transport=`` overrides.
 * :class:`PhaseTraceAspect` — diagnostic example aspect.
+
+Cross-cutting platform services are aspect modules too:
+:class:`repro.obs.MonitoringAspect` (phase spans) and
+:class:`repro.resilience.CheckpointAspect` (epoch snapshots) are woven
+the same way and compose freely with the layer aspects.
 """
 
 from .base import LayerAspect

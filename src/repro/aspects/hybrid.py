@@ -24,6 +24,7 @@ def mpi_aspects(
     processes: int,
     *,
     backend: Optional[str] = None,
+    page_transport: Optional[str] = None,
     comm_plans: bool = True,
     overlap: bool = True,
 ) -> List[LayerAspect]:
@@ -31,6 +32,8 @@ def mpi_aspects(
 
     ``backend`` picks the execution backend of the layer ("serial" |
     "threads" | "process"); None defers to the Platform's choice.
+    ``page_transport`` picks the process backend's bulk page data plane
+    ("auto" | "shm" | "pipe"); None defers to the Platform's choice.
     ``comm_plans=False`` disables the aggregated per-neighbor halo
     exchange and keeps the per-page protocol (benchmark reference);
     ``overlap=False`` keeps the aggregated exchange blocking instead of
@@ -38,7 +41,11 @@ def mpi_aspects(
     """
     return [
         DistributedMemoryAspect(
-            processes=processes, backend=backend, comm_plans=comm_plans, overlap=overlap
+            processes=processes,
+            backend=backend,
+            page_transport=page_transport,
+            comm_plans=comm_plans,
+            overlap=overlap,
         )
     ]
 
@@ -53,6 +60,7 @@ def hybrid_aspects(
     threads: int,
     *,
     backend: Optional[str] = None,
+    page_transport: Optional[str] = None,
     comm_plans: bool = True,
     overlap: bool = True,
 ) -> List[LayerAspect]:
@@ -68,7 +76,11 @@ def hybrid_aspects(
     return [
         SharedMemoryAspect(threads=threads),
         DistributedMemoryAspect(
-            processes=processes, backend=backend, comm_plans=comm_plans, overlap=overlap
+            processes=processes,
+            backend=backend,
+            page_transport=page_transport,
+            comm_plans=comm_plans,
+            overlap=overlap,
         ),
     ]
 

@@ -58,6 +58,7 @@ from ..obs.spans import global_tracer
 from ..runtime.backends import DEFAULT_BACKEND, get_backend
 from ..runtime.backends.base import CommHandle, ExecutionWorld
 from ..runtime.errors import NetworkError, PageFetchError
+from ..runtime.shm import validate_page_transport
 from ..runtime.task import current_task
 from ..runtime.tracing import global_trace
 from .base import LayerAspect
@@ -193,6 +194,7 @@ class DistributedMemoryAspect(LayerAspect):
         *,
         timeout: float | None = None,
         backend: str | None = None,
+        page_transport: str | None = None,
         comm_plans: bool = True,
         overlap: bool = True,
     ) -> None:
@@ -201,6 +203,13 @@ class DistributedMemoryAspect(LayerAspect):
         #: Platform's ``comm_timeout`` and finally to 60 seconds.
         self.timeout = timeout
         self.backend_name = backend
+        #: Bulk page-fetch data plane override (``"auto"``/``"shm"``/
+        #: ``"pipe"``); ``None`` defers to the Platform's
+        #: ``page_transport`` and finally to ``"auto"``.  Only the
+        #: process backend distinguishes them.
+        self.page_transport = (
+            validate_page_transport(page_transport) if page_transport is not None else None
+        )
         #: Whether to compile CommPlans (aggregated per-neighbor halo
         #: exchange) from warmed-up access plans; False keeps the
         #: original one-message-pair-per-page protocol everywhere.
@@ -236,6 +245,13 @@ class DistributedMemoryAspect(LayerAspect):
         platform_timeout = getattr(self.platform, "comm_timeout", None)
         return float(platform_timeout) if platform_timeout is not None else 60.0
 
+    def resolve_page_transport(self) -> str:
+        """The page data plane: own setting, Platform's ``page_transport``, auto."""
+        if self.page_transport is not None:
+            return self.page_transport
+        platform_transport = getattr(self.platform, "page_transport", None)
+        return platform_transport or "auto"
+
     # ------------------------------------------------------------------
     # AspectType I — control of the runtime and tasks
     # ------------------------------------------------------------------
@@ -259,9 +275,14 @@ class DistributedMemoryAspect(LayerAspect):
                 entry,
                 omp_threads=omp_threads,
                 timeout=self.resolve_timeout(),
+                page_transport=self.resolve_page_transport(),
             )
 
-        world = backend.create_world(self.parallelism, timeout=self.resolve_timeout())
+        world = backend.create_world(
+            self.parallelism,
+            timeout=self.resolve_timeout(),
+            page_transport=self.resolve_page_transport(),
+        )
         self.world = world
         self._dry_run = {rank: set() for rank in range(world.size)}
         self._comm_plans = {}
@@ -522,6 +543,7 @@ class DistributedMemoryAspect(LayerAspect):
 
     # ------------------------------------------------------------------
     def on_detach(self, platform) -> None:
+        """Drop the world and every cached plan when unwoven from a platform."""
         super().on_detach(platform)
         self.world = None
         self._dry_run = {}

@@ -53,6 +53,7 @@ class SharedMemoryAspect(LayerAspect):
 
     # ------------------------------------------------------------------
     def team(self) -> Optional[ThreadTeam]:
+        """The calling rank's thread team (None outside a parallel region)."""
         return self._teams.get(current_task().mpi_rank)
 
     # ------------------------------------------------------------------
@@ -101,5 +102,6 @@ class SharedMemoryAspect(LayerAspect):
 
     # ------------------------------------------------------------------
     def on_detach(self, platform) -> None:
+        """Dissolve every rank's thread team when unwoven from a platform."""
         super().on_detach(platform)
         self._teams.clear()

@@ -273,6 +273,28 @@ class DataBlock(Block):
         """Copy of a read-buffer page (what the owning task sends)."""
         return self.buffer.read_buffer.pages[page_index].snapshot()
 
+    def page_view(self, page_index: int) -> np.ndarray:
+        """The read-buffer page's backing array, **without copying**.
+
+        Zero-copy export for transports and checkpoint stores that copy
+        the bytes themselves (shared-memory publish, spool pickling).
+        The view aliases live pool memory: it is only stable between the
+        refresh protocol's synchronisation points, and callers must
+        never write through it.
+        """
+        return self.buffer.read_buffer.pages[page_index].array
+
+    @property
+    def content_generation(self) -> int:
+        """Monotonic stamp of the read buffer's content (the swap count).
+
+        Owned blocks' read buffers change only at a refresh swap, so an
+        unchanged generation means every page still holds the bytes of
+        the previous export — the shared-memory arena uses this to serve
+        repeat fetches from the same slot without rewriting it.
+        """
+        return self.buffer.swaps
+
     def page_fill(self, page_index: int, data: np.ndarray) -> None:
         """Overwrite a read-buffer page (what a receiving task installs)."""
         self.buffer.read_buffer.pages[page_index].fill_from(data)

@@ -360,6 +360,21 @@ class Env:
             raise EnvError(f"page snapshot requested from non-data block {block.name!r}")
         return block.page_snapshot(key.page_index)
 
+    def page_export(self, key: PageKey) -> Tuple[np.ndarray, int]:
+        """Zero-copy page export: ``(read-buffer view, content generation)``.
+
+        The shared-memory transport copies the view's bytes into its
+        arena itself, so no intermediate snapshot is allocated; the
+        generation (the block's buffer-swap count) lets it reuse the
+        published slot untouched while the read buffer hasn't swapped.
+        The view aliases live pool memory — callers must copy before the
+        next refresh and never write through it.
+        """
+        block = self.block(key.block_id)
+        if not isinstance(block, DataBlock):
+            raise EnvError(f"page export requested from non-data block {block.name!r}")
+        return block.page_view(key.page_index), block.content_generation
+
     def page_install(self, key: PageKey, data: np.ndarray) -> None:
         block = self.block(key.block_id)
         if not isinstance(block, DataBlock):

@@ -496,6 +496,7 @@ class MMAT:
 
     # ------------------------------------------------------------------
     def key(self, start_block_id: int, relative: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...]]:
+        """The memo key of one access site: ``(origin block, relative offset)``."""
         return (start_block_id, relative)
 
     def lookup(self, start_block_id: int, relative: Tuple[int, ...]):
@@ -564,6 +565,7 @@ class MMAT:
         return total
 
     def stats(self) -> dict:
+        """Memo and plan statistics (hit-rate, compiled plans, vectorized %)."""
         lookups = self.hits + self.misses
         plan_sites = sum(plan.n_sites for plan in self._plans.values())
         vector_total = self.plan_exec_sites + self.fallback_sites

@@ -302,13 +302,20 @@ class CheckpointAspect(Aspect):
     # ------------------------------------------------------------------
     @staticmethod
     def _snapshot_owned(env) -> RankPages:
-        """Copy the read-buffer pages of every owned Data Block."""
+        """Collect the read-buffer pages of every owned Data Block.
+
+        Hands out **views** of the pool pages, not copies: both stores
+        isolate on ``save`` anyway (the memory store copies, the disk
+        store pickles), and the views are consumed synchronously inside
+        the refresh advice — before any buffer swap can mutate them —
+        so the extra snapshot copy here would be pure overhead.
+        """
         pages: RankPages = {}
         for block in env.data_blocks():
             logical_key = getattr(block, "logical_key", None)
             if logical_key is None:
                 continue
             pages[logical_key] = {
-                index: block.page_snapshot(index) for index in range(block.page_count())
+                index: block.page_view(index) for index in range(block.page_count())
             }
         return pages

@@ -87,20 +87,29 @@ class FaultPlan:
 
     # -- construction ---------------------------------------------------
     def kill(self, rank: int, *, phase: str = "refresh", epoch: Optional[int] = None) -> "FaultPlan":
+        """Kill ``rank`` at ``phase`` (optionally only at ``epoch``); chainable."""
         self.faults.append(Fault(KILL, rank, phase=phase, epoch=epoch))
         return self
 
     def delay_reply(
         self, rank: int, *, peer: Optional[int] = None, seconds: float = 0.05, count: int = 1
     ) -> "FaultPlan":
+        """Delay ``count`` page replies of ``rank`` by ``seconds``; chainable."""
         self.faults.append(Fault(DELAY_REPLY, rank, peer=peer, seconds=seconds, count=count))
         return self
 
     def drop_reply(self, rank: int, *, peer: Optional[int] = None, count: int = 1) -> "FaultPlan":
+        """Drop ``count`` page replies of ``rank`` (requester times out); chainable."""
         self.faults.append(Fault(DROP_REPLY, rank, peer=peer, count=count))
         return self
 
     def corrupt_reply(self, rank: int, *, peer: Optional[int] = None, count: int = 1) -> "FaultPlan":
+        """Flip payload bits in ``count`` replies of ``rank``; chainable.
+
+        Installing any corrupt fault makes the world attach adler32
+        checksums to page replies (and pins ``page_transport="auto"``
+        to the packed-pipe path) so the corruption is *detected*.
+        """
         self.faults.append(Fault(CORRUPT_REPLY, rank, peer=peer, count=count))
         return self
 
@@ -180,6 +189,7 @@ class FaultPlan:
                     fault.fired = fault.count
 
     def pending_kills(self) -> List[Fault]:
+        """Kill faults that have not fired yet (used by the run loop)."""
         with self._lock:
             return [f for f in self.faults if f.kind == KILL and f.fired < f.count]
 

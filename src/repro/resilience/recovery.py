@@ -194,6 +194,7 @@ class RecoveryManager:
         *,
         omp_threads: int = 1,
         timeout: float = 60.0,
+        page_transport: str = "auto",
     ) -> Any:
         """Run ``entry`` SPMD with failure diagnosis, rebalance and resume."""
         policy = self.policy
@@ -208,7 +209,9 @@ class RecoveryManager:
         try:
             while True:
                 self.attempt += 1
-                world = backend.create_world(self.size, timeout=timeout)
+                world = backend.create_world(
+                    self.size, timeout=timeout, page_transport=page_transport
+                )
                 self.world = world
                 self._begin_attempt()
                 if policy.fault_plan is not None:

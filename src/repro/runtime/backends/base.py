@@ -356,8 +356,18 @@ class ExecutionBackend(abc.ABC):
     name: str = "?"
 
     @abc.abstractmethod
-    def create_world(self, size: int, *, timeout: float = 60.0) -> ExecutionWorld:
-        """Create a world of ``size`` ranks."""
+    def create_world(
+        self, size: int, *, timeout: float = 60.0, page_transport: str = "auto"
+    ) -> ExecutionWorld:
+        """Create a world of ``size`` ranks.
+
+        ``page_transport`` selects the bulk page-fetch data plane
+        (``"auto"``/``"shm"``/``"pipe"``).  Only the process backend moves
+        pages between address spaces, so the other backends accept and
+        ignore the knob — a platform configured with
+        ``page_transport="shm"`` keeps working when the backend is swapped
+        for ``threads`` or ``serial``.
+        """
 
     def available(self) -> bool:
         """Whether this backend can run on the current interpreter/OS."""

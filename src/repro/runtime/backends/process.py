@@ -27,7 +27,34 @@ Messages are small tuples:
     Batched page request/reply used by compiled communication plans:
     the request carries a page-key manifest, the reply one packed byte
     payload holding every requested page plus the unpacking manifest —
-    a whole neighbor's halo moves in a single message pair.
+    a whole neighbor's halo moves in a single message pair.  Manifest
+    entries come in two shapes, distinguished by tuple length (see
+    ``docs/protocols.md`` for the full wire spec): a **6-tuple**
+    ``(block_id, page_index, offset, nbytes, shape, dtype_str)``
+    locates the page inside the packed payload, an **8-tuple**
+    ``(block_id, page_index, segment, offset, nbytes, shape,
+    dtype_str, version)`` is a zero-copy shared-memory descriptor —
+    the requester maps the named segment and copies the page out
+    directly, so only the few-dozen-byte manifest crosses the pipe.
+
+The shared-memory data plane
+----------------------------
+
+With ``page_transport="shm"`` (the ``auto`` default resolves to it on
+multi-rank worlds when :mod:`multiprocessing.shared_memory` is usable
+and no integrity checksums are requested) every rank lazily creates a
+:class:`~repro.runtime.shm.SharedPageArena` — named segments holding
+one seqlock-stamped slot per served page — and bulk replies carry
+descriptors instead of packed bytes.  Pages whose arrays cannot be
+flat-mapped (object dtype, zero-byte) transparently fall back to the
+packed path *per page*, counted in ``shm_fallbacks``.  Logical traffic
+accounting (``messages``/``bytes_moved``/``per_neighbor``) is identical
+between the two transports by design — equivalence suites compare them
+directly — while ``shm_fetches``/``shm_bytes`` record how much volume
+skipped the pipes.  Segment hygiene: each rank unlinks its own arena
+when its transport closes; :meth:`ProcessWorld.finalize` probe-unlinks
+the deterministically named segments of ranks that died before closing
+(see :func:`~repro.runtime.shm.cleanup_rank_segments`).
 
 The page-serving protocol
 -------------------------
@@ -83,6 +110,16 @@ from ...obs.metrics import global_metrics
 from ...obs.spans import global_tracer
 from ..errors import CollectiveError, DeadRankError, InjectedFault, NetworkError, TaskError
 from ..network import NetworkStats, _payload_nbytes
+from ..shm import (
+    SegmentCache,
+    SharedPageArena,
+    cleanup_rank_segments,
+    ensure_tracker_running,
+    new_shm_uid,
+    shm_available,
+    shm_eligible,
+    validate_page_transport,
+)
 from ..simmpi import BlockDirectory
 from ..task import TaskContext, task_scope
 from ..tracing import global_trace
@@ -139,6 +176,8 @@ class ProcessTransport:
         timeout: float,
         *,
         fault_plan: Any = None,
+        use_shm: bool = False,
+        shm_uid: str = "",
     ) -> None:
         self.rank = rank
         self.size = size
@@ -147,6 +186,15 @@ class ProcessTransport:
         self.stats = NetworkStats()
         #: The rank's Env replica, served to peers (set by register_env).
         self.endpoint: Any = None
+        #: Whether bulk replies publish pages into a shared-memory arena
+        #: and ship descriptors (the zero-copy data plane) instead of
+        #: packed pickled bytes.  The arena is created lazily on the
+        #: first eligible serve, so worlds that never bulk-fetch create
+        #: no segments at all.
+        self._use_shm = bool(use_shm)
+        self._shm_uid = shm_uid
+        self._arena: Optional[SharedPageArena] = None
+        self._segcache = SegmentCache()
         #: Installed fault plan (reply faults act in ``_post_reply``).
         self.fault_plan = fault_plan
         #: Whether page replies carry an adler32 integrity checksum, so
@@ -301,9 +349,13 @@ class ProcessTransport:
             manifest: List[tuple] = []
             offset = 0
             for block_id, page_index in items:
-                data = np.ascontiguousarray(
-                    self.endpoint.page_snapshot(PageKey(block_id, page_index))
-                )
+                key = PageKey(block_id, page_index)
+                if self._use_shm:
+                    descriptor = self._publish_page(key)
+                    if descriptor is not None:
+                        manifest.append(descriptor)
+                        continue
+                data = np.ascontiguousarray(self.endpoint.page_snapshot(key))
                 raw = data.tobytes()
                 manifest.append(
                     (block_id, page_index, offset, len(raw), data.shape, data.dtype.str)
@@ -320,6 +372,39 @@ class ProcessTransport:
                                      f"of {len(items)} pages: {exc!r}")
         # Uncounted send, as for single pages: the requester accounts it.
         self._post_reply(peer, reply)
+
+    def _publish_page(self, key) -> Optional[tuple]:
+        """Publish one page into the shm arena; descriptor 8-tuple or None.
+
+        ``None`` means "pack it into the payload instead": the page's
+        array is not flat-mappable (object dtype, zero bytes) or the
+        endpoint is a bare stub without the zero-copy export hook.  The
+        endpoint's :meth:`~repro.memory.env.Env.page_export` supplies a
+        no-copy view plus the content generation used to reuse the
+        published slot across repeat serves of an unchanged buffer;
+        endpoints exposing only ``page_snapshot`` publish the snapshot
+        with no generation, forcing a seqlock rewrite per serve.
+        """
+        exporter = getattr(self.endpoint, "page_export", None)
+        if exporter is not None:
+            data, generation = exporter(key)
+        else:
+            data, generation = self.endpoint.page_snapshot(key), None
+        if not shm_eligible(data):
+            return None
+        if self._arena is None:
+            self._arena = SharedPageArena(self._shm_uid, self.rank)
+        segment, offset, nbytes, version = self._arena.publish(key, data, generation)
+        return (
+            key.block_id,
+            key.page_index,
+            segment,
+            offset,
+            nbytes,
+            tuple(np.shape(data)),
+            np.asarray(data).dtype.str,
+            version,
+        )
 
     def _post_reply(self, peer: int, reply: tuple) -> None:
         """Enqueue a page reply, via the fault plan / interleaving shim."""
@@ -551,18 +636,42 @@ class ProcessTransport:
                     f"bulk page reply {req_id} from rank {owner} failed its "
                     f"integrity check (adler32 {actual:#010x} != {msg[4]:#010x})"
                 )
-        datas = [
-            np.frombuffer(
-                payload, dtype=dt, count=nbytes // dt.itemsize, offset=offset
-            ).reshape(shape)
-            for _block_id, _page_index, offset, nbytes, shape, dtype_str in manifest
-            for dt in (np.dtype(dtype_str),)
-        ]
+        datas: List[Any] = []
+        shm_pages = 0
+        shm_payload = 0
+        fallback_pages = 0
+        for entry in manifest:
+            if len(entry) == 8:  # shm descriptor: map the segment, copy directly
+                _bid, _pidx, segment, offset, nbytes, shape, dtype_str, version = entry
+                data = self._segcache.read(segment, offset, nbytes, version, shape, dtype_str)
+                shm_pages += 1
+                shm_payload += int(data.nbytes)
+            else:  # packed in the pipe payload
+                _bid, _pidx, offset, nbytes, shape, dtype_str = entry
+                dt = np.dtype(dtype_str)
+                data = np.frombuffer(
+                    payload, dtype=dt, count=nbytes // dt.itemsize, offset=offset
+                ).reshape(shape)
+                if self._use_shm:
+                    fallback_pages += 1
+            datas.append(data)
         payload_bytes = sum(int(d.nbytes) for d in datas)
+        # Logical accounting — identical whether the page bytes crossed
+        # the pipe or a mapped segment, so shm and pipe runs stay
+        # message-for-message and byte-for-byte comparable; the shm_*
+        # counters record the transport split on top.
         self.stats.messages += 1  # the reply (the request was counted by _send)
         self.stats.record_neighbor(self.rank, owner, 1, 32 + 16 * len(items))
         self.stats.record_neighbor(owner, self.rank, 1, payload_bytes)
         self._account_batch(datas)
+        if shm_pages or fallback_pages:
+            self.stats.shm_fetches += shm_pages
+            self.stats.shm_bytes += shm_payload
+            self.stats.shm_fallbacks += fallback_pages
+            trace = global_trace().for_task()
+            trace.shm_fetches += shm_pages
+            trace.shm_bytes += shm_payload
+            trace.shm_fallbacks += fallback_pages
         return datas
 
     def _account_batch(self, datas: List[Any]) -> None:
@@ -599,6 +708,13 @@ class ProcessTransport:
                 conn.close()
             except OSError:  # pragma: no cover - teardown best effort
                 pass
+        # Shared-memory hygiene: detach peer segments (their owners
+        # unlink them), then unlink our own arena — the one unlink per
+        # segment that retires its resource-tracker entry.
+        self._segcache.close_all()
+        if self._arena is not None:
+            self._arena.close(unlink=True)
+            self._arena = None
 
 
 class ProcessWorld(ExecutionWorld):
@@ -606,11 +722,23 @@ class ProcessWorld(ExecutionWorld):
 
     backend_name = "process"
 
-    def __init__(self, size: int, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self, size: int, *, timeout: float = 60.0, page_transport: str = "auto"
+    ) -> None:
         if size < 1:
             raise TaskError("MPI world size must be >= 1")
         self.size = size
         self.timeout = timeout
+        #: Requested page transport (``"auto"`` | ``"shm"`` | ``"pipe"``);
+        #: the effective choice is resolved at launch, see
+        #: :meth:`resolve_page_transport`.
+        self.page_transport = validate_page_transport(page_transport)
+        #: Effective transport of the most recent launch (None before).
+        self.page_transport_resolved: Optional[str] = None
+        #: Namespace of this world's shared-memory segment names —
+        #: created pre-fork so the parent can probe-unlink any segment a
+        #: dead child leaked (deterministic names, contiguous sequence).
+        self.shm_uid = new_shm_uid()
         self.directory = BlockDirectory()
         self.rank_envs: Dict[int, Any] = {}
         #: Parent-side aggregate of every rank's transport counters.
@@ -625,6 +753,40 @@ class ProcessWorld(ExecutionWorld):
         #: First undeliverable send observed by any rank's transport,
         #: surfaced in the failure raised after collection.
         self._send_notes: List[str] = []
+        #: Effective shm decision of the current launch (set pre-fork in
+        #: :meth:`run_spmd` so forked children inherit it).
+        self._use_shm = False
+
+    # -- page-transport resolution ---------------------------------------
+    def resolve_page_transport(self) -> str:
+        """The effective page transport: ``"shm"`` or ``"pipe"``.
+
+        ``"pipe"`` is always honoured.  ``"shm"`` requires working named
+        shared memory (:class:`~repro.runtime.backends.base.BackendError`
+        otherwise) but still yields to ``"pipe"`` when the installed
+        fault plan wants reply checksums — corrupt-reply detection needs
+        a packed payload to checksum, and a descriptor-only reply has
+        none.  ``"auto"`` picks ``"shm"`` on multi-rank worlds whenever
+        both conditions hold, ``"pipe"`` otherwise.
+        """
+        mode = self.page_transport
+        if mode == "pipe":
+            return "pipe"
+        wants_checksums = bool(
+            self.fault_plan is not None and self.fault_plan.wants_checksums()
+        )
+        if mode == "shm":
+            if not shm_available():
+                raise BackendError(
+                    "page_transport='shm' needs multiprocessing.shared_memory, "
+                    "which is unavailable on this platform; use 'pipe' or 'auto'"
+                )
+            return "pipe" if wants_checksums else "shm"
+        return (
+            "shm"
+            if self.size > 1 and shm_available() and not wants_checksums
+            else "pipe"
+        )
 
     # -- failure injection ----------------------------------------------
     def _execute_kill(self, fault: Any, rank: int) -> None:
@@ -640,11 +802,19 @@ class ProcessWorld(ExecutionWorld):
         self, body: Callable[[TaskContext], Any], *, omp_threads: int = 1
     ) -> List[RankResult]:
         results = [RankResult(rank=r) for r in range(self.size)]
+        self.page_transport_resolved = self.resolve_page_transport()
         if self.size == 1:
             self._run_rank_inline(results[0], body, omp_threads)
             raise_spmd_failures(results)
             return results
 
+        self._use_shm = use_shm = self.page_transport_resolved == "shm"
+        if use_shm:
+            # Fork the resource tracker *now* so every child inherits it:
+            # one shared tracker means segment register/unregister from
+            # any rank lands in one set, and the single unlink per
+            # segment (owner or parent sweep) retires it cleanly.
+            ensure_tracker_running()
         ctx = multiprocessing.get_context("fork")
         # One duplex pipe per unordered rank pair, created before forking
         # so every process inherits its ends.
@@ -673,7 +843,13 @@ class ProcessWorld(ExecutionWorld):
                 conn.close()
             result_pipes[rank][1].close()
         self._transport = transport = ProcessTransport(
-            0, self.size, conns_of[0], self.timeout, fault_plan=self.fault_plan
+            0,
+            self.size,
+            conns_of[0],
+            self.timeout,
+            fault_plan=self.fault_plan,
+            use_shm=self._use_shm,
+            shm_uid=self.shm_uid,
         )
         try:
             self._run_rank_inline(results[0], body, omp_threads, mpi_size=self.size)
@@ -732,7 +908,13 @@ class ProcessWorld(ExecutionWorld):
                     conn.close()
         self._forked_child = True
         self._transport = transport = ProcessTransport(
-            rank, self.size, conns_of[rank], self.timeout, fault_plan=self.fault_plan
+            rank,
+            self.size,
+            conns_of[rank],
+            self.timeout,
+            fault_plan=self.fault_plan,
+            use_shm=self._use_shm,
+            shm_uid=self.shm_uid,
         )
         # The child's fork-copied trace may contain pre-fork counters;
         # reset so only this rank's tasks are shipped back to the parent.
@@ -955,6 +1137,14 @@ class ProcessWorld(ExecutionWorld):
         if self._transport is not None:  # pragma: no cover - defensive
             self._transport.close()
             self._transport = None
+        # Dead-child shared-memory sweep: ranks that closed cleanly
+        # already unlinked their own arenas (the probe finds nothing);
+        # ranks that died mid-run left deterministically named segments
+        # the parent can still unlink — keeping /dev/shm and the
+        # resource tracker free of leaks no matter how the run ended.
+        if self.page_transport != "pipe" and shm_available():
+            for rank in range(self.size):
+                cleanup_rank_segments(self.shm_uid, rank)
         self._finalized = True
 
     @property
@@ -1004,11 +1194,13 @@ class ProcessBackend(ExecutionBackend):
     def available(self) -> bool:
         return "fork" in multiprocessing.get_all_start_methods()
 
-    def create_world(self, size: int, *, timeout: float = 60.0) -> ProcessWorld:
+    def create_world(
+        self, size: int, *, timeout: float = 60.0, page_transport: str = "auto"
+    ) -> ProcessWorld:
         if not self.available():
             raise BackendError(
                 "the 'process' backend needs the 'fork' multiprocessing start "
                 "method (woven applications are inherited by forked ranks, not "
                 "pickled); use the 'threads' backend on this platform"
             )
-        return ProcessWorld(size, timeout=timeout)
+        return ProcessWorld(size, timeout=timeout, page_transport=page_transport)

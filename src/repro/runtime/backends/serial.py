@@ -151,7 +151,11 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def create_world(self, size: int, *, timeout: float = 60.0) -> SerialWorld:
+    def create_world(
+        self, size: int, *, timeout: float = 60.0, page_transport: str = "auto"
+    ) -> SerialWorld:
+        # page_transport is accepted for signature compatibility; a single
+        # rank never moves pages between address spaces.
         if size != 1:
             raise TaskError(
                 f"the 'serial' backend runs exactly one rank (requested {size}); "

@@ -22,5 +22,9 @@ class ThreadsBackend(ExecutionBackend):
 
     name = "threads"
 
-    def create_world(self, size: int, *, timeout: float = 60.0) -> MPIWorld:
+    def create_world(
+        self, size: int, *, timeout: float = 60.0, page_transport: str = "auto"
+    ) -> MPIWorld:
+        # page_transport is accepted for signature compatibility; threads
+        # share one address space, so pages are never serialised at all.
         return MPIWorld(size, timeout=timeout)

@@ -58,6 +58,17 @@ class NetworkStats:
     #: Replies that could not be delivered because the peer was already
     #: dead (process backend: broken pipe in the sender thread).
     peer_dead: int = 0
+    #: Shared-memory data-plane activity (process backend with
+    #: ``page_transport="shm"``): pages whose bytes travelled as
+    #: mapped-segment descriptors instead of packed pickled payloads,
+    #: the page bytes those descriptors covered (a subset of
+    #: ``bytes_moved``, which stays *logical* and transport-agnostic so
+    #: shm and pipe runs account identically), and pages that fell back
+    #: to the packed path in shm mode (object dtype, zero-byte or
+    #: non-array payloads).
+    shm_fetches: int = 0
+    shm_bytes: int = 0
+    shm_fallbacks: int = 0
     #: Page traffic per directed neighbor pair: "src->dst" ->
     #: {"messages": n, "bytes": n}.  Collectives are not attributed.
     per_neighbor: Dict[str, Dict[str, int]] = field(default_factory=dict)

@@ -1,0 +1,406 @@
+"""Zero-copy shared-memory page transport for the process backend.
+
+Pipe-mesh bulk fetches (``breq``/``brep``) normally move pages as one
+packed pickled byte payload — every halo refresh pays
+serialize → pipe copy → deserialize on the full halo volume.  This
+module provides the alternative data plane: each rank *publishes* its
+served pages into a named ``multiprocessing.shared_memory`` arena and
+the ``brep`` reply carries only **descriptors** — ``(segment, offset,
+nbytes, version)`` slots — that the requester maps and copies from
+directly.  The payload crossing the pipe shrinks from the halo bytes to
+a few dozen bytes of manifest, independent of page size.
+
+Concurrency is handled with a seqlock-style version stamp per slot:
+
+* the owner bumps the slot's version to an **odd** number, writes the
+  page bytes, then bumps it to the next **even** number;
+* the requester checks the version **before and after** its copy — both
+  reads must equal the (even) version named in the descriptor,
+  otherwise the copy may have raced a concurrent refresh and
+  :class:`ShmVersionError` is raised.
+
+Under the refresh protocol's synchronisation guarantees (owners never
+mutate read buffers between sync points; every fetch completes before
+the owner's next buffer swap) a mismatch can only mean protocol
+corruption — the same severity as a failed adler32 check on the packed
+path.
+
+Segment hygiene: segment names are deterministic
+(``repro_shm_{uid}_{rank}_{seq}`` with a monotonically increasing
+``seq``), so the parent process can *probe-unlink* every segment a dead
+child leaked without any bookkeeping channel — attach names in order
+until the first ``FileNotFoundError`` (:func:`cleanup_rank_segments`).
+On this interpreter both creating and attaching register the name with
+the ``multiprocessing`` resource tracker (set semantics when every
+process shares the tracker forked from the parent), so each segment
+must be unlinked **exactly once** — by its owner on close, or by the
+parent's sweep when the owner died — for the tracker to exit clean
+with no leak warnings.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import NetworkError
+
+try:  # pragma: no cover - import guard exercised via shm_available()
+    from multiprocessing import resource_tracker
+    from multiprocessing.shared_memory import SharedMemory
+except ImportError:  # pragma: no cover - platforms without POSIX shm
+    SharedMemory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "PAGE_TRANSPORTS",
+    "SegmentCache",
+    "SharedPageArena",
+    "ShmVersionError",
+    "cleanup_rank_segments",
+    "ensure_tracker_running",
+    "new_shm_uid",
+    "segment_name",
+    "shm_available",
+    "shm_eligible",
+    "validate_page_transport",
+]
+
+#: Valid values of ``Platform(page_transport=)`` / ``create_world(page_transport=)``.
+PAGE_TRANSPORTS = ("auto", "shm", "pipe")
+
+#: Bytes of the per-slot seqlock version header (one little-endian uint64).
+_HEADER = 8
+
+#: Default arena segment size.  Slots are allocated by bumping a cursor;
+#: a page larger than this gets a dedicated segment of its exact size.
+_DEFAULT_SEGMENT_BYTES = 1 << 22  # 4 MiB
+
+
+class ShmVersionError(NetworkError):
+    """A shared-memory page read raced a concurrent slot rewrite.
+
+    Raised when the slot's version stamp read before/after the copy does
+    not match the version named in the descriptor.  Under the refresh
+    protocol this cannot happen on a healthy run, so callers treat it
+    like a failed integrity check rather than retrying.
+    """
+
+
+def shm_available() -> bool:
+    """Whether named shared memory is usable on this interpreter/OS."""
+    return SharedMemory is not None
+
+
+def validate_page_transport(value: str) -> str:
+    """Validate and normalise a ``page_transport`` setting.
+
+    Accepts one of :data:`PAGE_TRANSPORTS`; raises :class:`ValueError`
+    otherwise (mirrors how backend names are validated by the registry).
+    """
+    name = str(value).strip().lower()
+    if name not in PAGE_TRANSPORTS:
+        raise ValueError(
+            f"unknown page transport {value!r} "
+            f"(expected one of: {', '.join(PAGE_TRANSPORTS)})"
+        )
+    return name
+
+
+def new_shm_uid() -> str:
+    """A short unique id namespacing one world's segment names."""
+    return uuid.uuid4().hex[:8]
+
+
+def segment_name(uid: str, rank: int, seq: int) -> str:
+    """Deterministic segment name: ``repro_shm_{uid}_{rank}_{seq}``.
+
+    The fixed shape is what makes parent-side cleanup possible without a
+    bookkeeping channel: segments of one rank are numbered contiguously
+    from 0, so probing names in order finds everything the rank created.
+    """
+    return f"repro_shm_{uid}_{int(rank)}_{int(seq)}"
+
+
+def ensure_tracker_running() -> None:
+    """Start the multiprocessing resource tracker in this process.
+
+    Must be called **before forking** rank children so they inherit the
+    parent's tracker: with one shared tracker, register/unregister of a
+    segment name from any process lands in one set and a single
+    ``unlink()`` anywhere retires the entry — no spurious leak warnings,
+    no double-unlink races between per-child trackers.
+    """
+    if resource_tracker is not None:
+        resource_tracker.ensure_running()
+
+
+def shm_eligible(data: np.ndarray) -> bool:
+    """Whether a page array can travel as a shared-memory descriptor.
+
+    Object-dtype pages have no flat byte representation and zero-byte
+    pages have nothing to map; both fall back to the packed-bytes path
+    (as does any non-array payload a custom endpoint might serve).
+    """
+    return (
+        isinstance(data, np.ndarray)
+        and not data.dtype.hasobject
+        and data.nbytes > 0
+    )
+
+
+class _Segment:
+    """One owned shared segment plus its bump-allocation cursor."""
+
+    __slots__ = ("shm", "name", "cursor", "capacity")
+
+    def __init__(self, shm: Any, name: str, capacity: int) -> None:
+        self.shm = shm
+        self.name = name
+        self.cursor = 0
+        self.capacity = capacity
+
+
+class SharedPageArena:
+    """The publishing half: one rank's pages, exported as shm slots.
+
+    Each served page gets a **slot**: an 8-byte little-endian uint64
+    seqlock version header followed by the page bytes.  ``publish``
+    returns the slot's descriptor ``(segment_name, offset, nbytes,
+    version)``; slots are reused across refreshes (keyed by page key)
+    and rewritten in place under the seqlock when the page's content
+    generation advances.  Slot allocation is a simple bump cursor over
+    one or more named segments created on demand — pages of a steady
+    halo allocate once and then only rewrite.
+
+    ``generation`` is the owner's cheap change stamp (the block's buffer
+    swap count): publishing the same key at an unchanged generation
+    returns the existing descriptor without touching the slot, so
+    duplicate serves within one step cost nothing and version stamps
+    stay deterministic.  Without a generation (endpoints exposing only
+    ``page_snapshot``) every publish takes a **fresh** slot instead —
+    rewriting in place would race a peer still reading the previous
+    descriptor of the same page.
+    """
+
+    def __init__(
+        self, uid: str, rank: int, *, segment_bytes: int = _DEFAULT_SEGMENT_BYTES
+    ) -> None:
+        if SharedMemory is None:  # pragma: no cover - guarded by shm_available
+            raise NetworkError("shared memory is unavailable on this platform")
+        self.uid = uid
+        self.rank = int(rank)
+        self.segment_bytes = int(segment_bytes)
+        self._segments: List[_Segment] = []
+        #: page key -> (segment index, offset, nbytes, version, generation)
+        self._slots: Dict[Any, Tuple[int, int, int, int, Optional[int]]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def segment_count(self) -> int:
+        """How many named segments the arena has created so far."""
+        return len(self._segments)
+
+    def _allocate(self, nbytes: int) -> Tuple[int, int]:
+        """Reserve ``nbytes`` (plus header, 8-aligned); return (segment idx, offset)."""
+        need = _HEADER + nbytes
+        need += (-need) % 8  # keep every header 8-byte aligned
+        seg = self._segments[-1] if self._segments else None
+        if seg is None or seg.cursor + need > seg.capacity:
+            capacity = max(self.segment_bytes, need)
+            name = segment_name(self.uid, self.rank, len(self._segments))
+            shm = SharedMemory(name=name, create=True, size=capacity)
+            seg = _Segment(shm, name, capacity)
+            self._segments.append(seg)
+        offset = seg.cursor
+        seg.cursor += need
+        return len(self._segments) - 1, offset
+
+    # ------------------------------------------------------------------
+    def publish(
+        self, key: Any, data: np.ndarray, generation: Optional[int] = None
+    ) -> Tuple[str, int, int, int]:
+        """Export a page; return its descriptor ``(segment, offset, nbytes, version)``.
+
+        ``data`` must be :func:`shm_eligible`; non-contiguous views are
+        compacted here (the one copy the transport pays — into shared
+        memory instead of a pickle buffer).  ``generation=None`` (an
+        endpoint with no change stamp) publishes into a fresh slot every
+        call; otherwise the slot is rewritten in place only when
+        ``generation`` differs from the published one — safe because the
+        refresh protocol completes every fetch before the owner's next
+        buffer swap can advance the generation.
+        """
+        if self._closed:
+            raise NetworkError(f"rank {self.rank} published a page after arena close")
+        with self._lock:
+            slot = self._slots.get(key)
+            nbytes = int(data.nbytes)
+            if slot is not None:
+                seg_index, offset, slot_nbytes, version, slot_gen = slot
+                if generation is None:
+                    # No change stamp means no memoization — and a peer
+                    # may still hold a descriptor for the current bytes
+                    # (two requesters of one page within one step), so
+                    # never rewrite in place: publish into a fresh slot
+                    # and leave the old one valid.
+                    slot = None
+                elif slot_nbytes != nbytes:
+                    slot = None  # size changed: leak the old slot, allocate fresh
+                elif slot_gen == generation:
+                    seg = self._segments[seg_index]
+                    return (seg.name, offset, nbytes, version)
+            if slot is None:
+                seg_index, offset = self._allocate(nbytes)
+                version = 0
+            seg = self._segments[seg_index]
+            buf = seg.shm.buf
+            header = np.frombuffer(buf, dtype=np.uint64, count=1, offset=offset)
+            try:
+                # Seqlock write: odd while the bytes are torn, even when done.
+                header[0] = version + 1
+                raw = np.frombuffer(
+                    buf, dtype=np.uint8, count=nbytes, offset=offset + _HEADER
+                )
+                try:
+                    raw[:] = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+                finally:
+                    del raw
+                version += 2
+                header[0] = version
+            finally:
+                # Drop the buffer views even when the write raises: a
+                # traceback frame holding them would make the segment's
+                # mmap unclosable (BufferError) and mask the real error.
+                del header
+            self._slots[key] = (seg_index, offset, nbytes, version, generation)
+            return (seg.name, offset, nbytes, version)
+
+    # ------------------------------------------------------------------
+    def close(self, *, unlink: bool = True) -> None:
+        """Release (and by default unlink) every owned segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            for seg in self._segments:
+                try:
+                    seg.shm.close()
+                    if unlink:
+                        seg.shm.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover - teardown
+                    pass
+            self._segments = []
+            self._slots = {}
+
+
+class SegmentCache:
+    """The reading half: attached peer segments, cached by name.
+
+    ``read`` maps the descriptor's segment (attaching once per name),
+    verifies the seqlock version before and after copying the page
+    bytes out, and returns the copy as a correctly shaped ndarray.
+    Attached segments are **closed but never unlinked** here — the
+    owner (or the parent's dead-child sweep) owns the unlink.
+    """
+
+    def __init__(self) -> None:
+        self._attached: Dict[str, Any] = {}
+
+    def _segment(self, name: str) -> Any:
+        shm = self._attached.get(name)
+        if shm is None:
+            if SharedMemory is None:  # pragma: no cover - guarded by callers
+                raise NetworkError("shared memory is unavailable on this platform")
+            try:
+                shm = SharedMemory(name=name)
+            except FileNotFoundError as exc:
+                raise NetworkError(
+                    f"shared page segment {name!r} does not exist (owner died or "
+                    "already cleaned up)"
+                ) from exc
+            self._attached[name] = shm
+        return shm
+
+    def read(
+        self,
+        name: str,
+        offset: int,
+        nbytes: int,
+        version: int,
+        shape: Tuple[int, ...],
+        dtype_str: str,
+    ) -> np.ndarray:
+        """Copy one slot out of a peer's arena, seqlock-checked."""
+        shm = self._segment(name)
+        buf = shm.buf
+        header = np.frombuffer(buf, dtype=np.uint64, count=1, offset=offset)
+        try:
+            before = int(header[0])
+            if before != version:
+                raise ShmVersionError(
+                    f"slot {name!r}+{offset} is at version {before}, descriptor "
+                    f"promised {version} (stale descriptor or torn write)"
+                )
+            dt = np.dtype(dtype_str)
+            window = np.frombuffer(
+                buf, dtype=dt, count=nbytes // dt.itemsize, offset=offset + _HEADER
+            )
+            try:
+                data = window.reshape(shape).copy()
+            finally:
+                del window
+            after = int(header[0])
+            if after != version:
+                raise ShmVersionError(
+                    f"slot {name!r}+{offset} was rewritten (version {version} -> "
+                    f"{after}) while being read"
+                )
+        finally:
+            # Drop the buffer views even when a version check raises: a
+            # traceback frame holding them would make the segment's mmap
+            # unclosable (BufferError) and mask the real error.
+            del header
+        return data
+
+    def close_all(self) -> None:
+        """Detach every cached segment (no unlink); idempotent."""
+        for shm in self._attached.values():
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        self._attached = {}
+
+
+def cleanup_rank_segments(uid: str, rank: int, *, limit: int = 4096) -> int:
+    """Unlink every segment ``rank`` left behind; return how many were removed.
+
+    Because segment names are numbered contiguously from 0, probing in
+    order until the first missing name finds everything the rank
+    created — whether it died before unlinking or never created any.
+    Used by the parent's ``finalize()`` for dead-child recovery (a clean
+    rank already unlinked its own, so the probe stops immediately).
+    """
+    if SharedMemory is None:  # pragma: no cover - guarded by callers
+        return 0
+    removed = 0
+    for seq in range(limit):
+        try:
+            shm = SharedMemory(name=segment_name(uid, rank, seq))
+        except FileNotFoundError:
+            break
+        except OSError:  # pragma: no cover - permission races at teardown
+            break
+        try:
+            shm.close()
+            shm.unlink()
+            removed += 1
+        except (FileNotFoundError, OSError):  # pragma: no cover - race with owner
+            pass
+    return removed

@@ -95,6 +95,14 @@ class TaskCounters:
     restored_pages: int = 0
     replayed_steps: int = 0
     peer_dead: int = 0
+    #: Shared-memory data-plane activity (process backend,
+    #: ``page_transport="shm"``): pages received as mapped-segment
+    #: descriptors, the page bytes that never crossed a pipe because of
+    #: it, and pages that fell back to the packed pickled path while in
+    #: shm mode (object dtype / zero-byte / non-array payloads).
+    shm_fetches: int = 0
+    shm_bytes: int = 0
+    shm_fallbacks: int = 0
     #: Qualitative access pattern of the workload ('contiguous'|'random'|'bucketed')
     #: recorded by the DSL layer, consumed by the shared-memory contention model.
     access_pattern: str = "contiguous"
@@ -199,6 +207,9 @@ class TraceRecorder:
             "restored_pages": self.total("restored_pages"),
             "replayed_steps": self.total("replayed_steps"),
             "peer_dead": self.total("peer_dead"),
+            "shm_fetches": self.total("shm_fetches"),
+            "shm_bytes": self.total("shm_bytes"),
+            "shm_fallbacks": self.total("shm_fallbacks"),
         }
 
 

@@ -1,0 +1,138 @@
+"""Property tests: the shm page transport is an invisible substitution.
+
+The zero-copy data plane promises bit-identical results and identical
+*logical* traffic accounting: for every DSL app, a process-backend run
+whose halo pages travel as shared-memory descriptors must end exactly
+like a run whose pages are packed into the pipe replies — and both
+must match the ``threads`` backend, where pages never serialise at
+all.  The physical split is visible only in the ``shm_*`` counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annotation import Platform
+from repro.apps import JacobiSGrid, JacobiUSGrid, ParticleSimulation
+from repro.memory.block import BufferOnlyBlock
+from repro.runtime import get_backend
+from repro.runtime.shm import shm_available
+
+pytestmark = pytest.mark.skipif(
+    not get_backend("process").available() or not shm_available(),
+    reason="process backend with shared memory unavailable",
+)
+
+
+def _init(x, y):
+    return 0.04 * x - 0.03 * y + 1.5
+
+
+SGRID_CONFIG = dict(region=16, block_size=4, page_elements=8, loops=3, init=_init)
+USGRID_CONFIG = dict(region=16, block_cells=32, page_elements=8, loops=3, init=_init)
+PARTICLE_CONFIG = dict(particles=256, block_buckets=4, page_elements=4, loops=2)
+
+APPS = [
+    ("sgrid", JacobiSGrid, SGRID_CONFIG),
+    ("usgrid", JacobiUSGrid, USGRID_CONFIG),
+    ("particle", ParticleSimulation, PARTICLE_CONFIG),
+]
+
+
+def run_app(app_cls, config, *, backend, transport=None, ranks=2):
+    builder = Platform.builder().mpi(ranks).mmat().backend(backend)
+    if transport is not None:
+        builder.page_transport(transport)
+    return builder.build().run(app_cls, config=dict(config))
+
+
+def env_contents(run) -> dict:
+    """Master rank's Env contents: every Data Block's dense read buffer."""
+    contents = {}
+    env = run.app.env
+    for block in env.data_blocks(include_buffer_only=True):
+        key = getattr(block, "logical_key", block.name)
+        kind = "halo" if isinstance(block, BufferOnlyBlock) else "data"
+        contents[(kind, key)] = block.buffer.read_buffer.dense().copy()
+    return contents
+
+
+def assert_same_result(a, b) -> None:
+    np.testing.assert_array_equal(
+        np.asarray(a.result, dtype=np.float64), np.asarray(b.result, dtype=np.float64)
+    )
+    contents_a, contents_b = env_contents(a), env_contents(b)
+    assert contents_a.keys() == contents_b.keys()
+    for key in contents_a:
+        np.testing.assert_array_equal(contents_a[key], contents_b[key], err_msg=str(key))
+
+
+def logical_traffic(run) -> dict:
+    return {
+        "messages": sum(c.messages for c in run.counters.values()),
+        "pages": sum(c.pages_fetched for c in run.counters.values()),
+        "bytes": sum(c.bytes_fetched for c in run.counters.values()),
+    }
+
+
+class TestTransportEquivalence:
+    @pytest.mark.parametrize("name,app_cls,config", APPS)
+    def test_shm_matches_pipe_bit_identical(self, name, app_cls, config):
+        pipe = run_app(app_cls, config, backend="process", transport="pipe")
+        shm = run_app(app_cls, config, backend="process", transport="shm")
+        assert_same_result(pipe, shm)
+        # Logically the same exchange — the pipes just carried less.
+        assert logical_traffic(pipe) == logical_traffic(shm)
+        assert sum(c.shm_fetches for c in pipe.counters.values()) == 0
+        assert sum(c.shm_fetches for c in shm.counters.values()) > 0
+
+    @pytest.mark.parametrize("name,app_cls,config", APPS)
+    def test_shm_matches_threads(self, name, app_cls, config):
+        threads = run_app(app_cls, config, backend="threads")
+        shm = run_app(app_cls, config, backend="process", transport="shm")
+        assert_same_result(threads, shm)
+
+    @pytest.mark.parametrize("name,app_cls,config", APPS)
+    def test_auto_resolves_to_shm_here(self, name, app_cls, config):
+        auto = run_app(app_cls, config, backend="process", transport="auto")
+        assert sum(c.shm_fetches for c in auto.counters.values()) > 0
+
+    def test_summary_reports_the_shm_section(self):
+        shm = run_app(JacobiSGrid, SGRID_CONFIG, backend="process", transport="shm")
+        pipe = run_app(JacobiSGrid, SGRID_CONFIG, backend="process", transport="pipe")
+        assert " shm=" in shm.summary()
+        assert " shm=" not in pipe.summary()
+
+
+class MidRunResetJacobi(JacobiSGrid):
+    """Vectorized Jacobi that drops every compiled plan halfway through.
+
+    The MMAT reset invalidates the aspect's CommPlans, so the refresh
+    protocol transitions shm through all of its serving regimes:
+    aggregated exchanges with generation-memoized slots, recompilation,
+    and the per-page repair path once MMAT is disabled entirely.  The
+    shm plane must stay invisible across every transition.
+    """
+
+    def processing(self) -> None:
+        self.warm_up(self.kernel)
+        half = max(self.loops // 2, 1)
+        for _ in range(half):
+            self.run(self.kernel)
+        self.env.mmat.reset()           # drop plans -> CommPlan invalidated
+        self.run(self.kernel)           # recompiles + re-aggregates
+        self.env.mmat.enabled = False   # stop compiling plans …
+        self.env.mmat.reset()           # … and drop the cached ones:
+        for _ in range(self.loops - half - 1):
+            self.run(self.kernel)       # per-page fallback from here on
+
+
+class TestMidRunInvalidation:
+    def test_mmat_reset_mid_run_stays_equivalent(self):
+        config = dict(SGRID_CONFIG, loops=5)
+        pipe = run_app(MidRunResetJacobi, config, backend="process", transport="pipe")
+        shm = run_app(MidRunResetJacobi, config, backend="process", transport="shm")
+        assert_same_result(pipe, shm)
+        assert logical_traffic(pipe) == logical_traffic(shm)
+        assert sum(c.shm_fetches for c in shm.counters.values()) > 0
