@@ -9,10 +9,21 @@ reports the speed-up.  A micro-benchmark of the scalar-fallback hot path
 (``Env.read_from``) is included so regressions of the non-plan path show
 up here too.
 
-The headline regression gate: the vectorized 2-D Jacobi sweep must be at
-least 10x faster than the scalar sweep (the access-plan compilation
-tentpole's acceptance criterion); ``--smoke`` uses a smaller grid and a
-2x gate for CI.
+The headline regression gates:
+
+* the vectorized 2-D Jacobi sweep must be at least 10x faster than the
+  scalar sweep (the access-plan compilation tentpole's acceptance
+  criterion); ``--smoke`` uses a smaller grid and a 2x gate for CI;
+* the *fused* 2-D Jacobi sweep (plan x fn codegen, ``repro.kernels``)
+  must be at least 3x faster than the vectorized sweep in steady state
+  (the plan-fusion tentpole's criterion); ``--smoke`` relaxes to 1.5x.
+
+The fused comparison measures the *marginal per-step* cost — best
+wall-clock at two loop counts, divided by the loop delta — because the
+whole-run elapsed is dominated by the one-time warm-up plan compilation
+that both paths share.  Bit-identity between the fused and vectorized
+results is asserted, and an informational ``temporal_block=2`` row shows
+the temporal-blocking lookahead on the same workload.
 
 Usage::
 
@@ -85,6 +96,72 @@ def measure_kernels(workloads, *, repeats: int = 3) -> list:
     return rows
 
 
+def _best_elapsed(work: Workload, *, repeats: int, **config):
+    """Best-of-``repeats`` whole-run wall-clock with config overrides."""
+    best = None
+    last = None
+    for _ in range(max(repeats, 1)):
+        run = run_platform(work.with_config(**config), mmat=True)
+        if best is None or run.elapsed < best:
+            best = run.elapsed
+        last = run
+    return best, last
+
+
+def measure_fused(work: Workload, *, lo: int, hi: int, repeats: int = 1) -> list:
+    """Fused (plan x fn codegen) vs plain vectorized, marginal per step.
+
+    Runs each path at ``lo`` and ``hi`` loop counts and reports
+    ``(best(hi) - best(lo)) / (hi - lo)`` — the steady-state cost of one
+    extra sweep, with the shared one-time plan-compilation warm-up
+    subtracted out.
+    """
+
+    def per_step(**config):
+        lo_s, _ = _best_elapsed(work, repeats=repeats, loops=lo, **config)
+        hi_s, run = _best_elapsed(work, repeats=repeats, loops=hi, **config)
+        return max(hi_s - lo_s, 0.0) / (hi - lo), run
+
+    vec_step, vec_run = per_step(kernel="vectorized", fuse=False)
+    fused_step, fused_run = per_step(kernel="vectorized")
+    a = np.asarray(vec_run.result, dtype=np.float64)
+    b = np.asarray(fused_run.result, dtype=np.float64)
+    identical = a.shape == b.shape and bool(np.array_equal(a, b, equal_nan=True))
+    rows = [
+        {
+            "workload": work.name,
+            "vectorized_step_s": vec_step,
+            "fused_step_s": fused_step,
+            "fused_speedup": vec_step / fused_step if fused_step else float("nan"),
+            "bit_identical": identical,
+            "fused_kernels": fused_run.mmat_stats.get("fused_kernels", 0),
+            "fused_calls": sum(
+                c.kernel_fused_calls for c in fused_run.counters.values()
+            ),
+        }
+    ]
+    # Informational: the same workload with a 2-deep temporal-blocking
+    # lookahead (interior advanced 2 steps per gather).  Not gated — the
+    # win depends on the halo/interior ratio of the block size.
+    tb_step, tb_run = per_step(kernel="vectorized", temporal_block=2)
+    c = np.asarray(tb_run.result, dtype=np.float64)
+    rows.append(
+        {
+            "workload": f"{work.name} tb2",
+            "vectorized_step_s": vec_step,
+            "fused_step_s": tb_step,
+            "fused_speedup": vec_step / tb_step if tb_step else float("nan"),
+            "bit_identical": a.shape == c.shape
+            and bool(np.array_equal(a, c, equal_nan=True)),
+            "fused_kernels": tb_run.mmat_stats.get("fused_kernels", 0),
+            "fused_calls": sum(
+                c_.kernel_fused_calls for c_ in tb_run.counters.values()
+            ),
+        }
+    )
+    return rows
+
+
 def measure_read_from(*, reads: int = 20000) -> dict:
     """Micro-benchmark of the scalar fallback hot path (Env.read_from)."""
     run = Platform(mmat=True).run(
@@ -120,6 +197,10 @@ def main(argv=None) -> int:
             particle_workload(64, loops=2),
         ]
         repeats, gate = 1, 2.0
+        # Small enough for CI (~1s), big enough for per-step costs to
+        # dominate Python dispatch overhead.
+        fused_work = sgrid_workload(128, loops=5, block_size=64)
+        fused_lo, fused_hi, fused_repeats, fused_gate = 5, 35, 3, 1.5
     else:
         workloads = [
             sgrid_workload(args.region, loops=args.loops, block_size=16),
@@ -128,10 +209,20 @@ def main(argv=None) -> int:
             particle_workload(512, loops=2),
         ]
         repeats, gate = args.repeats, 10.0
+        fused_work = sgrid_workload(384, loops=4, block_size=128)
+        fused_lo, fused_hi, fused_repeats, fused_gate = 4, 20, 2, 3.0
 
     rows = measure_kernels(workloads, repeats=repeats)
+    fused_rows = measure_fused(
+        fused_work, lo=fused_lo, hi=fused_hi, repeats=fused_repeats
+    )
     micro = measure_read_from()
     print(format_table(rows, title="Vectorized (access-plan) kernels vs scalar reference"))
+    print()
+    print(format_table(
+        fused_rows,
+        title="Fused (plan x fn codegen) vs vectorized, marginal s/step",
+    ))
     print(
         f"\nEnv.read_from micro-bench: {micro['reads']} scalar reads in "
         f"{micro['elapsed_s']:.4f}s ({micro['ns_per_read']:.0f} ns/read)"
@@ -141,6 +232,7 @@ def main(argv=None) -> int:
         doc = {
             "mode": "smoke" if args.smoke else "full",
             "kernels": rows,
+            "fused": fused_rows,
             "read_from": micro,
         }
         with open(args.json, "w") as fh:
@@ -151,7 +243,10 @@ def main(argv=None) -> int:
     if not ok:
         print("FAILED: vectorized results diverge from the scalar reference")
         return 1
-    # The acceptance gate applies to the 2-D Jacobi structured-grid sweep.
+    if not all(row["bit_identical"] for row in fused_rows):
+        print("FAILED: fused results are not bit-identical to the vectorized path")
+        return 1
+    # The acceptance gates apply to the 2-D Jacobi structured-grid sweep.
     jacobi = rows[0]
     if jacobi["speedup"] < gate:
         print(
@@ -160,6 +255,17 @@ def main(argv=None) -> int:
         )
         return 1
     print(f"OK: vectorized Jacobi sweep {jacobi['speedup']:.1f}x faster (gate {gate:.0f}x)")
+    fused = fused_rows[0]
+    if fused["fused_speedup"] < fused_gate:
+        print(
+            f"FAILED: fused Jacobi speedup {fused['fused_speedup']:.1f}x "
+            f"below the {fused_gate:.1f}x gate"
+        )
+        return 1
+    print(
+        f"OK: fused Jacobi sweep {fused['fused_speedup']:.1f}x faster per step "
+        f"(gate {fused_gate:.1f}x)"
+    )
     return 0
 
 

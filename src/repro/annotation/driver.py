@@ -221,8 +221,17 @@ class PlatformRun:
             plans = sum(c.plan_compiles for c in self.counters.values())
             vectorized = plan_sites / (plan_sites + fallback)
             line += f" plans={plans}/{plan_sites}sites vec={vectorized:.0%}"
+            # Per-call (uncached) gather_global compiles are not part of
+            # the cached-plan coverage; report them as their own count.
+            uncached = sum(c.plan_compiles_uncached for c in self.counters.values())
+            if uncached:
+                line += f" dyn={uncached}"
             if fallback:
                 line += f" fallback={fallback}"
+        fused_calls = sum(c.kernel_fused_calls for c in self.counters.values())
+        if fused_calls:
+            fusions = sum(c.kernel_fuse for c in self.counters.values())
+            line += f" fused={fused_calls}calls/{fusions}kern"
         line += self._comm_plan_summary()
         line += self._overlap_summary()
         line += self._shm_summary()
@@ -362,6 +371,7 @@ class PlatformBuilder:
         self._tracing: Optional[bool] = None
         self._resilience: Any = None
         self._comm_timeout: Optional[float] = None
+        self._temporal_block: Optional[int] = None
 
     # -- layers ---------------------------------------------------------
     def _factories(self) -> List[Any]:
@@ -475,6 +485,22 @@ class PlatformBuilder:
         self._resilience = policy
         return self
 
+    def temporal_block(self, steps: int) -> "PlatformBuilder":
+        """Temporal blocking depth of the fused sweep kernels.
+
+        With ``steps=N > 1`` a fused stencil sweep advances each block's
+        interior ``N`` steps per full gather (the halo-independent
+        lookahead is cached and merged with a recomputed rim on the
+        following steps).  ``1`` (the default) disables the lookahead.
+        Requires MMAT (fused kernels only exist on compiled plans);
+        results stay bit-identical by construction.
+        """
+        steps = int(steps)
+        if steps < 1:
+            raise ValueError(f"temporal_block must be >= 1, got {steps}")
+        self._temporal_block = steps
+        return self
+
     def comm_timeout(self, seconds: float) -> "PlatformBuilder":
         """Communication timeout of the distributed layer's world.
 
@@ -509,6 +535,8 @@ class PlatformBuilder:
             kwargs["resilience"] = self._resilience
         if self._comm_timeout is not None:
             kwargs["comm_timeout"] = self._comm_timeout
+        if self._temporal_block is not None:
+            kwargs["temporal_block"] = self._temporal_block
         aspects = None
         if self._aspect_factories is not None:
             aspects = [factory() for factory in self._aspect_factories]
@@ -610,6 +638,7 @@ class Platform:
         tracing: Optional[bool] = None,
         resilience: Any = None,
         comm_timeout: Optional[float] = None,
+        temporal_block: int = 1,
     ) -> None:
         if transcompile is None:
             transcompile = aspects is not None
@@ -654,6 +683,13 @@ class Platform:
             self.resilience = RecoveryManager(policy)
             self.aspects.append(CheckpointAspect(self.resilience))
         self.mmat_enabled = bool(mmat)
+        #: Temporal blocking depth of the fused sweep kernels: how many
+        #: steps a block's interior is advanced per full gather (1 = no
+        #: lookahead).  Read by the DSL layer when it hands out kernels.
+        temporal_block = int(temporal_block)
+        if temporal_block < 1:
+            raise ValueError(f"temporal_block must be >= 1, got {temporal_block}")
+        self.temporal_block = temporal_block
         self.env_pool_bytes = int(env_pool_bytes)
         self.machine = machine
         #: Shared scratch space aspect modules use to exchange run-level
@@ -695,6 +731,7 @@ class Platform:
         mpi: Optional[int] = None,
         omp: Optional[int] = None,
         tracing: Optional[bool] = None,
+        temporal_block: Optional[int] = None,
     ) -> "Platform":
         """Build one of the paper's named configurations (Fig. 3).
 
@@ -732,6 +769,8 @@ class Platform:
             builder.page_transport(page_transport)
         if tracing is not None:
             builder.tracing(tracing)
+        if temporal_block is not None:
+            builder.temporal_block(temporal_block)
         configure(builder, int(ranks), int(threads))
         return builder.build()
 

@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..annotation.target import TargetApplication
+from ..kernels import fused_kernel_for
 from ..memory.block import BufferOnlyBlock, DataBlock
 from ..memory.env import Env
 from ..memory.mmat import compile_address_plan, compile_offsets_plan
@@ -90,14 +91,42 @@ class BlockKernel:
     transparently to the scalar path, element by element.
     """
 
-    __slots__ = ("env", "block", "origin", "_trace", "_work")
+    __slots__ = (
+        "env",
+        "block",
+        "origin",
+        "_trace",
+        "_work",
+        "_fuse",
+        "_temporal",
+        "_codegen",
+        "_warmup",
+    )
 
-    def __init__(self, env: Env, block: DataBlock, *, work_per_set: int = 1) -> None:
+    def __init__(
+        self,
+        env: Env,
+        block: DataBlock,
+        *,
+        work_per_set: int = 1,
+        fuse: bool = True,
+        temporal_block: int = 1,
+        codegen: Optional[str] = None,
+        warmup: bool = False,
+    ) -> None:
         self.env = env
         self.block = block
         self.origin = block.origin
         self._trace = global_trace().for_task()
         self._work = max(int(work_per_set), 1)
+        #: Whether sweeps may run through fused kernels (plan + fn
+        #: compiled into one generated function); warm-up sweeps always
+        #: use the legacy path — their results are discarded and the
+        #: step counter (the temporal-cache key) does not advance.
+        self._fuse = bool(fuse)
+        self._temporal = max(int(temporal_block), 1)
+        self._codegen = codegen
+        self._warmup = bool(warmup)
 
     # ------------------------------------------------------------------
     def get(self, local: Sequence[int], inside: bool = False):
@@ -116,10 +145,12 @@ class BlockKernel:
 
     def set(self, local: Sequence[int], value) -> None:
         """Write the element at block-relative coordinates ``local``."""
+        self.env.discard_full_store(self.block.block_id)
         self.block.write_local(tuple(local), value)
         self._trace.updates += self._work
 
     def set_global(self, addr: Sequence[int], value) -> None:
+        self.env.discard_full_store(self.block.block_id)
         self.block.write(tuple(addr), value)
         self._trace.updates += self._work
 
@@ -193,7 +224,14 @@ class BlockKernel:
                 plan = compile_address_plan(env, block, addresses)
                 if key is not None:
                     mmat.plan_store(cache_key, plan)
-                self._trace.plan_compiles += 1
+                    self._trace.plan_compiles += 1
+                else:
+                    # Per-call compiles are by design, not cache misses:
+                    # counting them as plan_compiles would make coverage
+                    # numbers report near-zero hit rates for apps with
+                    # dynamic address tables.
+                    mmat.note_uncached_compile()
+                    self._trace.plan_compiles_uncached += 1
             out = plan.execute(env)
             mmat.note_execution(plan)
             self._trace.plan_gathers += 1
@@ -206,11 +244,17 @@ class BlockKernel:
         """Write a whole block of results into the write buffer at once.
 
         Accepts ``shape`` (single-component) or ``(element_count,
-        components)`` arrays; the write-buffer pages are marked dirty
-        exactly as per-element :meth:`set` calls would.
+        components)`` arrays — or anything broadcastable to them, e.g. a
+        constant scalar; the write-buffer pages are marked dirty exactly
+        as per-element :meth:`set` calls would.
         """
         block = self.block
-        data = np.asarray(values).reshape(block.element_count, block.components)
+        data = np.asarray(values)
+        try:
+            data = data.reshape(block.element_count, block.components)
+        except ValueError:
+            data = np.broadcast_to(data, (block.element_count, block.components))
+        self.env.discard_full_store(block.block_id)
         block.load_dense(data, into_write=True)
         self._trace.updates += self._work * block.element_count
 
@@ -218,12 +262,35 @@ class BlockKernel:
         """One full-block update: gather ``offsets``, apply ``fn``, scatter.
 
         ``fn`` receives one array per offset (each shaped like the
-        Block) and must return the new field, shaped like the Block.
-        When an overlapped halo exchange is in flight the sweep runs
-        through :meth:`sweep_segment` (interior sites first, halo wait,
-        boundary sites) — see its note on the elementwise ``fn``
-        contract, which every stencil update satisfies by construction.
+        Block) and must return the new field, shaped like the Block (or
+        anything broadcastable to it).  When an overlapped halo exchange
+        is in flight the sweep runs interior sites first, waits for the
+        halo, then finishes the boundary rim — see :meth:`sweep_segment`
+        for the elementwise ``fn`` contract, which every stencil update
+        satisfies by construction.
+
+        With MMAT enabled the compiled access plan and ``fn`` are fused
+        into one generated kernel (:mod:`repro.kernels`) that applies
+        ``fn`` to shifted views of a padded scratch field instead of
+        materialising the per-offset gather tensor; unfusable cases and
+        warm-up sweeps fall back to :meth:`sweep_segment` transparently.
         """
+        offsets = tuple(tuple(int(c) for c in off) for off in offsets)
+        env = self.env
+        if self._fuse and not self._warmup and env.mmat.enabled:
+            plan = self._offsets_plan(offsets)
+            kern = fused_kernel_for(
+                env,
+                self.block,
+                plan,
+                fn,
+                temporal=self._temporal,
+                codegen=self._codegen,
+                trace=self._trace,
+            )
+            if kern is not None:
+                kern(env, fn, self._trace, self._work)
+                return
         self.sweep_segment(fn, offsets)
 
     def sweep_segment(
@@ -277,12 +344,23 @@ class BlockKernel:
         def apply(elems: np.ndarray) -> None:
             if not elems.size:
                 return
+            # fn may return a broadcastable constant (legal on the
+            # non-overlap gather+scatter path): broadcast instead of
+            # reshaping so it does not crash mid-overlap.
             if comps == 1:
                 args = [per_offset[oi, elems, 0] for oi in range(n_off)]
-                result[elems, 0] = np.asarray(fn(*args)).reshape(elems.size)
+                vals = np.asarray(fn(*args))
+                if vals.size == elems.size:
+                    result[elems, 0] = vals.reshape(elems.size)
+                else:
+                    result[elems, 0] = np.broadcast_to(vals, (elems.size,))
             else:
                 args = [per_offset[oi, elems] for oi in range(n_off)]
-                result[elems] = np.asarray(fn(*args)).reshape(elems.size, comps)
+                vals = np.asarray(fn(*args))
+                if vals.size == elems.size * comps:
+                    result[elems] = vals.reshape(elems.size, comps)
+                else:
+                    result[elems] = np.broadcast_to(vals, (elems.size, comps))
 
         with tracer.span("sweep.interior", sites=int(interior_elems.size)):
             missing = plan.gather_segments(env, interior_segs, out)
@@ -373,6 +451,16 @@ class DslTarget(TargetApplication):
             raise ValueError(
                 f"kernel must be 'vectorized' or 'scalar', got {self.kernel_mode!r}"
             )
+        #: Whether sweeps may compile plan+fn into fused kernels
+        #: (config ``fuse``, default on; only effective with MMAT).
+        self.fuse_kernels: bool = bool(self.config.get("fuse", True))
+        #: Temporal blocking depth override (config ``temporal_block``);
+        #: None defers to the platform's ``temporal_block`` attribute.
+        tb = self.config.get("temporal_block")
+        self.temporal_block: Optional[int] = None if tb is None else max(int(tb), 1)
+        #: Codegen backend override for fused kernels (config
+        #: ``codegen``; None = registry default / env var).
+        self.kernel_codegen: Optional[str] = self.config.get("codegen")
 
     @property
     def vectorized(self) -> bool:
@@ -503,7 +591,19 @@ class DslTarget(TargetApplication):
         self.register_access_profile()
         self.build_env()
 
-    def kernel_for(self, block: DataBlock) -> BlockKernel:
+    def kernel_for(self, block: DataBlock, warmup: bool = False) -> BlockKernel:
         """Return the kernel accessor for ``block`` (Listing 1's InitKernelMacros)."""
         assert self.env is not None, "initialize() must build the Env first"
-        return BlockKernel(self.env, block, work_per_set=self.WORK_PER_UPDATE)
+        temporal = self.temporal_block
+        if temporal is None:
+            platform = getattr(self, "platform", None)
+            temporal = getattr(platform, "temporal_block", 1) if platform else 1
+        return BlockKernel(
+            self.env,
+            block,
+            work_per_set=self.WORK_PER_UPDATE,
+            fuse=self.fuse_kernels,
+            temporal_block=temporal,
+            codegen=self.kernel_codegen,
+            warmup=warmup,
+        )

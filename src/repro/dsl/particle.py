@@ -257,7 +257,7 @@ class ParticleTarget(DslTarget):
     def block_kernels(self, warmup: bool = False) -> Iterator[Tuple[DataBlock, BlockKernel]]:
         assert self.env is not None
         for block in self.env.get_blocks(warmup):
-            yield block, self.kernel_for(block)
+            yield block, self.kernel_for(block, warmup)
 
     def refresh(self, warmup: bool = False) -> bool:
         assert self.env is not None

@@ -151,7 +151,7 @@ class SGrid2DTarget(DslTarget):
         """Yield ``(block, kernel accessor)`` for each Block of the calling task."""
         assert self.env is not None
         for block in self.env.get_blocks(warmup):
-            yield block, self.kernel_for(block)
+            yield block, self.kernel_for(block, warmup)
 
     def refresh(self, warmup: bool = False) -> bool:
         assert self.env is not None

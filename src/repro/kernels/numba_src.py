@@ -1,0 +1,74 @@
+"""Optional numba codegen (import-guarded).
+
+Emits the exact same specialised source as
+:class:`~repro.kernels.numpy_src.NumpySourceCodegen` and additionally
+routes the elementwise ``fn`` through ``numba.njit`` (non-fastmath, so
+results stay IEEE-identical to the NumPy path).  Any jit failure — an
+``fn`` numba cannot type, a dispatch error at call time — falls back to
+the plain Python ``fn`` transparently.
+
+The constructor raises :class:`~repro.kernels.CodegenError` when numba
+is not importable; :func:`~repro.kernels.resolve_codegen` then falls
+back to ``numpy_src``, so naming this backend on a numba-less machine
+degrades to the default instead of failing the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from . import CodegenError
+from .numpy_src import NumpySourceCodegen
+
+__all__ = ["NumbaCodegen"]
+
+
+class NumbaCodegen(NumpySourceCodegen):
+    """numba-accelerated variant of the generated-source codegen."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        try:
+            import numba
+        except ImportError as exc:  # pragma: no cover - depends on env
+            raise CodegenError(
+                "the 'numba' codegen requires numba to be installed; "
+                "falling back to 'numpy_src'"
+            ) from exc
+        self._numba = numba
+        #: Jitted elementwise fns keyed by code identity; a value equal
+        #: to the original fn marks "numba could not handle it".
+        self._jitted: Dict[object, object] = {}
+        super().__init__()
+
+    def compile(self, signature: Tuple) -> dict:
+        namespace = super().compile(signature)
+        base_compute = namespace["compute"]
+        jitted = self._jitted
+        numba = self._numba
+
+        def compute(P, fn):
+            key = getattr(fn, "__code__", None) or fn
+            jf = jitted.get(key)
+            if jf is None:
+                try:
+                    jf = numba.njit(fn)
+                except Exception:
+                    jf = fn
+                jitted[key] = jf
+            if jf is fn:
+                return base_compute(P, fn)
+            try:
+                result = base_compute(P, jf)
+            except Exception:
+                # Typing/dispatch failed at call time: pin the fallback
+                # and re-run with the plain Python fn.
+                jitted[key] = fn
+                result = base_compute(P, fn)
+            return result
+
+        # Rebind inside the generated module so fused_sweep picks the
+        # wrapped compute up too.
+        namespace["compute"] = compute
+        return namespace

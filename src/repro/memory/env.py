@@ -110,6 +110,12 @@ class Env:
         #: plans; invalidated whenever read buffers can change (refresh
         #: swap, page install, buffer-only invalidation).
         self._dense_cache: Dict[int, np.ndarray] = {}
+        #: Full-block results written by fused kernels this step: after a
+        #: successful refresh swap the written buffer becomes the read
+        #: buffer, so the stored copy *is* the next step's dense read and
+        #: is promoted straight into ``_dense_cache`` (no page-assembly
+        #: pass).  Any other write to the block discards its entry.
+        self._stored_dense: Dict[int, np.ndarray] = {}
         #: Pages found missing (non-existent / not-yet-valid) since the
         #: last refresh.  AspectType III advice consumes this list.
         self.missing_pages: Set[PageKey] = set()
@@ -214,6 +220,9 @@ class Env:
             self.last_failed_pages = set(self.missing_pages)
             self.missing_pages.clear()
             self.stats.failed_refreshes += 1
+            # The step re-executes against the unchanged read buffers, so
+            # this step's full-block stores are not (yet) readable data.
+            self._stored_dense.clear()
             return False
         self.last_failed_pages = set()
         if not warmup:
@@ -221,6 +230,10 @@ class Env:
                 block.refresh_swap()
                 self.stats.buffer_swaps += 1
             self.step += 1
+            # The buffers just written by fused full-block stores are now
+            # the read buffers: their stored dense copies are valid reads.
+            self._dense_cache.update(self._stored_dense)
+        self._stored_dense.clear()
         return True
 
     # ------------------------------------------------------------------
@@ -300,6 +313,7 @@ class Env:
         """Write ``value`` at global address ``addr``; out-of-block writes search the Env."""
         self.stats.writes += 1
         if start.contains(addr):
+            self.discard_full_store(start.block_id)
             start.write(addr, value)
             return
         target = self.find_block(addr, start=start)
@@ -307,6 +321,7 @@ class Env:
             raise AddressError(
                 f"no block of Env {self.name!r} contains address {tuple(addr)} for writing"
             )
+        self.discard_full_store(target.block_id)
         target.write(addr, value)
 
     def read(self, addr: Sequence[int]):
@@ -463,6 +478,26 @@ class Env:
             cached = block.buffer.read_buffer.dense()
             self._dense_cache[block.block_id] = cached
         return cached
+
+    def note_full_store(self, block: DataBlock, flat: np.ndarray) -> None:
+        """Record that ``flat`` was just written over *every* element of
+        ``block``'s write buffer (a fused full-block store).
+
+        The copy is promoted into the dense-read cache by the next
+        successful refresh (the write buffer becomes the read buffer),
+        so steady-state fused sweeps never re-assemble pages.  Callers
+        that write to the block through any other path must call
+        :meth:`discard_full_store` or the promoted copy would go stale.
+        """
+        buf = block.buffer.read_buffer
+        self._stored_dense[block.block_id] = np.array(
+            flat, dtype=buf.dtype, copy=True
+        ).reshape(block.element_count, block.components)
+
+    def discard_full_store(self, block_id: int) -> None:
+        """Drop a pending full-block store (the block was written again)."""
+        if self._stored_dense:
+            self._stored_dense.pop(block_id, None)
 
     def plan_page_requirements(self) -> Set[PageKey]:
         """Union of the Buffer-only (halo) pages every compiled plan reads.

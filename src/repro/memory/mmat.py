@@ -31,6 +31,7 @@ macro is called").
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,7 +60,7 @@ class PlanSegment:
     check per iteration instead of one per element.
     """
 
-    __slots__ = ("block", "src_idx", "dst_idx", "src_pages", "check_pages")
+    __slots__ = ("block", "src_idx", "dst_idx", "src_pages", "check_pages", "_check_objs")
 
     def __init__(self, block: DataBlock, src_idx, dst_idx) -> None:
         self.block = block
@@ -71,6 +72,22 @@ class PlanSegment:
         else:
             self.src_pages = None
             self.check_pages = None
+        self._check_objs = None
+
+    def invalid_pages(self) -> list:
+        """Indices of this segment's halo pages that are not valid yet.
+
+        Buffer-only Blocks never swap buffers, so the page objects can be
+        resolved once and the per-call validity check reduces to reading
+        one flag per touched page (the hot-path version of the old
+        ``pages[p].valid`` indexing loop).
+        """
+        objs = self._check_objs
+        if objs is None:
+            pages = self.block.buffer.read_buffer.pages
+            objs = [(int(p), pages[p]) for p in self.check_pages]
+            self._check_objs = objs
+        return [index for index, page in objs if not page.valid]
 
     @property
     def nbytes(self) -> int:
@@ -78,6 +95,13 @@ class PlanSegment:
         if self.src_pages is not None:
             total += self.src_pages.nbytes + self.check_pages.nbytes
         return total
+
+
+#: Monotonic version numbers handed to every compiled plan: a recompiled
+#: plan (after ``MMAT.reset``) gets a new version, so caches keyed by the
+#: version (the fused-kernel cache) can never confuse it with its
+#: predecessor even if the plan object's id is reused.
+_PLAN_VERSIONS = itertools.count(1)
 
 
 class AccessPlan:
@@ -94,9 +118,13 @@ class AccessPlan:
         "in_block_sites",
         "resolved_sites",
         "out_of_block_sites",
+        "kind",
+        "version",
+        "offsets",
         "_split",
         "_halo_sites",
         "_elem_partition",
+        "_scratch",
     )
 
     def __init__(
@@ -112,6 +140,8 @@ class AccessPlan:
         in_block_sites: int,
         resolved_sites: int,
         out_of_block_sites: int,
+        kind: str = "offsets",
+        offsets: Optional[Tuple[Tuple[int, ...], ...]] = None,
     ) -> None:
         self.shape = tuple(shape)
         self.n_sites = int(n_sites)
@@ -127,9 +157,25 @@ class AccessPlan:
         #: sites the scalar path would serve from the MMAT memo.
         self.resolved_sites = int(resolved_sites)
         self.out_of_block_sites = int(out_of_block_sites)
+        #: How the plan was compiled: ``"offsets"`` (site order is
+        #: offset-major over the block's elements) or ``"addresses"``
+        #: (arbitrary site order from an indirect address table).
+        self.kind = str(kind)
+        #: Monotonic compile version; caches keyed by it (fused kernels)
+        #: are implicitly invalidated when the plan is recompiled.
+        self.version = next(_PLAN_VERSIONS)
+        #: The normalized stencil offsets of an offsets plan (None for
+        #: address plans); the fusion pass needs them to lay out its
+        #: padded scratch field.
+        self.offsets = offsets
         self._split: Optional[Tuple[List[PlanSegment], List[PlanSegment]]] = None
         self._halo_sites: Optional[np.ndarray] = None
         self._elem_partition: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: One-element scratch pool for :meth:`execute` (list ``pop``/
+        #: ``append`` is atomic under the GIL, so concurrent hybrid
+        #: threads executing the same plan never alias one buffer — the
+        #: loser of the pop simply allocates a fresh array).
+        self._scratch: List[np.ndarray] = []
 
     # ------------------------------------------------------------------
     def split(self) -> Tuple[List[PlanSegment], List[PlanSegment]]:
@@ -173,7 +219,17 @@ class AccessPlan:
         whose stencil reaches halo data at any offset.  Cached — the
         partition is pure in the plan, and the overlapped sweep needs it
         every step.
+
+        Address plans (``gather_global``) have no element-major site
+        order, so the modulo arithmetic below would silently produce a
+        meaningless partition — they raise instead.
         """
+        if self.kind != "offsets":
+            raise AddressError(
+                f"element_partition is only defined for offsets plans "
+                f"(offset-major site order); this plan was compiled as "
+                f"{self.kind!r}"
+            )
         if self._elem_partition is None:
             n_elem = int(np.prod(self.shape))
             boundary = np.unique(self.halo_sites() % n_elem)
@@ -196,8 +252,16 @@ class AccessPlan:
         completed right before the first boundary segment reads halo
         data — so every batched gather transparently overlaps the
         exchange with at least its interior gather work.
+
+        The returned array is recycled: the *next* ``execute`` of this
+        plan reuses it as scratch, so callers must consume (or copy) the
+        result before re-executing the plan — true for every batched
+        kernel, which gathers, applies and scatters within one step.
         """
-        out = np.empty((self.n_sites, self.components), dtype=self.dtype)
+        try:
+            out = self._scratch.pop()
+        except IndexError:
+            out = np.empty((self.n_sites, self.components), dtype=self.dtype)
         if self.const_dst is not None:
             out[self.const_dst] = self.const_vals
         interior, boundary = self.split()
@@ -207,6 +271,7 @@ class AccessPlan:
                 env.complete_pending_halo()
             missing += self.gather_segments(env, boundary, out)
         self.account(env, missing)
+        self._scratch.append(out)
         return out
 
     def gather_segments(self, env, segments: List[PlanSegment], out: np.ndarray) -> int:
@@ -216,8 +281,7 @@ class AccessPlan:
             block = seg.block
             vals = env.dense_read(block)[seg.src_idx]
             if seg.check_pages is not None and not block.is_valid:
-                pages = block.buffer.read_buffer.pages
-                bad = [int(p) for p in seg.check_pages if not pages[p].valid]
+                bad = seg.invalid_pages()
                 if bad:
                     block_id = block.block_id
                     for p in bad:
@@ -341,7 +405,13 @@ class _PlanBuilder:
                 self.out_of_block_sites += 1
         self.resolved_sites += 1
 
-    def build(self, *, n_sites: int) -> AccessPlan:
+    def build(
+        self,
+        *,
+        n_sites: int,
+        kind: str = "offsets",
+        offsets: Optional[Tuple[Tuple[int, ...], ...]] = None,
+    ) -> AccessPlan:
         block = self.block
         segments = [
             PlanSegment(source, np.concatenate(srcs), np.concatenate(dsts))
@@ -368,6 +438,8 @@ class _PlanBuilder:
             in_block_sites=self.in_block_sites,
             resolved_sites=self.resolved_sites,
             out_of_block_sites=self.out_of_block_sites,
+            kind=kind,
+            offsets=offsets,
         )
 
 
@@ -405,7 +477,10 @@ def compile_offsets_plan(env, block: DataBlock, offsets: Sequence[Tuple[int, ...
         for e in np.nonzero(~inside)[0]:
             addr = tuple(int(origin[d] + shifted[d, e]) for d in range(nd))
             builder.add_site(env, addr, base + int(e))
-    return builder.build(n_sites=len(offsets) * n_elem)
+    norm_offsets = tuple(tuple(int(c) for c in off) for off in offsets)
+    return builder.build(
+        n_sites=len(offsets) * n_elem, kind="offsets", offsets=norm_offsets
+    )
 
 
 def compile_address_plan(env, block: DataBlock, addresses) -> AccessPlan:
@@ -456,7 +531,7 @@ def compile_address_plan(env, block: DataBlock, addresses) -> AccessPlan:
     # Indirect accesses carry no static "inside" hint, so the scalar
     # path would resolve *every* site through the memo.
     builder.resolved_sites = n_sites
-    return builder.build(n_sites=n_sites)
+    return builder.build(n_sites=n_sites, kind="addresses")
 
 
 # ----------------------------------------------------------------------
@@ -470,10 +545,12 @@ class MMAT:
         "enabled",
         "_memo",
         "_plans",
+        "_fused",
         "hits",
         "misses",
         "resets",
         "plan_compiles",
+        "plan_compiles_uncached",
         "plan_executions",
         "plan_exec_sites",
         "fallback_sites",
@@ -486,10 +563,18 @@ class MMAT:
         self._memo: Dict[Tuple[int, Tuple[int, ...]], object] = {}
         #: Compiled access plans, keyed by ``(block_id, kind, signature)``.
         self._plans: Dict[tuple, AccessPlan] = {}
+        #: Fused kernels (plan + elementwise fn compiled into one
+        #: generated function), keyed by ``(plan version, fn identity,
+        #: dtype, temporal depth)``; cleared together with the plans.
+        self._fused: Dict[tuple, object] = {}
         self.hits = 0
         self.misses = 0
         self.resets = 0
         self.plan_compiles = 0
+        #: Plans compiled for uncached ``gather_global`` calls (no
+        #: ``key=``): recompiled every call by design, so they are
+        #: counted separately and excluded from plan-coverage numbers.
+        self.plan_compiles_uncached = 0
         self.plan_executions = 0
         self.plan_exec_sites = 0
         self.fallback_sites = 0
@@ -535,6 +620,29 @@ class MMAT:
         self.plan_executions += 1
         self.plan_exec_sites += plan.n_sites
 
+    def note_uncached_compile(self) -> None:
+        """Account one per-call (uncached) plan compile.
+
+        ``gather_global`` without ``key=`` recompiles every call by
+        design; those compiles are tracked here instead of
+        ``plan_compiles`` so plan-coverage numbers stay meaningful.
+        """
+        self.plan_compiles_uncached += 1
+
+    # ------------------------------------------------------------------
+    # fused kernels (plan + fn compiled into one generated function)
+    # ------------------------------------------------------------------
+    def fused_lookup(self, key: tuple):
+        """Return the cached fused kernel for ``key``, or None."""
+        if not self.enabled:
+            return None
+        return self._fused.get(key)
+
+    def fused_store(self, key: tuple, kernel) -> None:
+        """Cache a fused kernel (no-op while MMAT is disabled)."""
+        if self.enabled:
+            self._fused[key] = kernel
+
     def note_fallback(self, sites: int) -> None:
         """Account ``sites`` element accesses served by the scalar fallback."""
         self.fallback_sites += int(sites)
@@ -550,6 +658,9 @@ class MMAT:
         (the access pattern changed)."""
         self._memo.clear()
         self._plans.clear()
+        # Fused kernels bake a specific plan's gather tables into
+        # generated code, so they die with the plans they wrap.
+        self._fused.clear()
         self.resets += 1
 
     def __len__(self) -> int:
@@ -579,6 +690,10 @@ class MMAT:
             "plans": len(self._plans),
             "plan_sites": plan_sites,
             "plan_compiles": self.plan_compiles,
+            "plan_compiles_uncached": self.plan_compiles_uncached,
+            "fused_kernels": sum(
+                1 for k in self._fused.values() if k is not None and k != "unfusable"
+            ),
             "plan_executions": self.plan_executions,
             "plan_exec_sites": self.plan_exec_sites,
             "fallback_sites": self.fallback_sites,

@@ -61,7 +61,16 @@ class TaskCounters:
     plan_gathers: int = 0
     plan_sites: int = 0
     plan_compiles: int = 0
+    #: Per-call plan compiles for uncached ``gather_global`` (no ``key=``):
+    #: recompiled every call by design, tracked apart from ``plan_compiles``
+    #: so plan-coverage numbers are not skewed by dynamic address tables.
+    plan_compiles_uncached: int = 0
     plan_fallback_sites: int = 0
+    #: Fused-kernel activity (plan + fn compiled into one generated
+    #: function): how many fusions were compiled and how many sweeps ran
+    #: through a fused kernel instead of the gather/apply/scatter path.
+    kernel_fuse: int = 0
+    kernel_fused_calls: int = 0
     #: Communication-plan activity (aggregated per-neighbor halo
     #: exchange): how many comm plans were compiled, how many aggregated
     #: request/reply exchanges ran, how many pages those exchanges moved,
@@ -192,7 +201,10 @@ class TraceRecorder:
             "env_searches": self.total("env_searches"),
             "plan_gathers": self.total("plan_gathers"),
             "plan_sites": self.total("plan_sites"),
+            "plan_compiles_uncached": self.total("plan_compiles_uncached"),
             "plan_fallback_sites": self.total("plan_fallback_sites"),
+            "kernel_fuse": self.total("kernel_fuse"),
+            "kernel_fused_calls": self.total("kernel_fused_calls"),
             "comm_plan_exchanges": self.total("comm_plan_exchanges"),
             "comm_plan_pages": self.total("comm_plan_pages"),
             "comm_plan_fallback_pages": self.total("comm_plan_fallback_pages"),
